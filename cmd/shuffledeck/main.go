@@ -1,0 +1,157 @@
+// Command shuffledeck regenerates the paper's figures and demonstrates
+// randomized rank promotion from the terminal.
+//
+// Usage:
+//
+//	shuffledeck figure <id>   reproduce one figure (fig1 ... fig8, rec)
+//	shuffledeck all           reproduce every figure in paper order
+//	shuffledeck list          list figure IDs
+//	shuffledeck demo          rank a small result list with and without promotion
+//
+// Flags:
+//
+//	-quick   scaled-down runs (seconds per figure, noisier)
+//	-long    include the largest sweep points (minutes)
+//	-seeds N replications per data point
+//	-seed N  base random seed
+//	-chart   render ASCII charts beneath each table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+
+	shuffledeck "repro"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scaled-down runs")
+	long := flag.Bool("long", false, "include the largest sweep points")
+	seeds := flag.Int("seeds", 0, "replications per data point (0 = default)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	chart := flag.Bool("chart", true, "render ASCII charts")
+	flag.Usage = usage
+	flag.Parse()
+
+	opts := experiments.Options{
+		Quick: *quick,
+		Long:  *long,
+		Seeds: *seeds,
+		Seed:  *seed,
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		for _, r := range experiments.All() {
+			fmt.Printf("%-6s %s\n", r.ID, r.Title)
+		}
+	case "figure":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "shuffledeck figure <id>; see 'shuffledeck list'")
+			os.Exit(2)
+		}
+		if err := runFigure(args[1], opts, *chart); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "all":
+		for _, r := range experiments.All() {
+			if err := runFigure(r.ID, opts, *chart); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case "demo":
+		demo(*seed)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `shuffledeck — partially randomized ranking (VLDB 2005 reproduction)
+
+usage:
+  shuffledeck [flags] figure <id>   reproduce one figure
+  shuffledeck [flags] all           reproduce every figure
+  shuffledeck list                  list figure IDs
+  shuffledeck demo                  rank a result list with/without promotion
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func runFigure(id string, opts experiments.Options, chart bool) error {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown figure %q (see 'shuffledeck list')", id)
+	}
+	start := time.Now()
+	tbl, err := r.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl.Render())
+	if chart {
+		if c := tbl.Chart(); c != "" {
+			fmt.Print(c)
+		}
+	}
+	fmt.Printf("[%s in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// demo ranks a small synthetic result list twice: once deterministically
+// and once with the recommended promotion policy.
+func demo(seed uint64) {
+	pages := []shuffledeck.PageStat{
+		{ID: 101, Popularity: 0.95, Age: 400},
+		{ID: 102, Popularity: 0.60, Age: 350},
+		{ID: 103, Popularity: 0.35, Age: 300},
+		{ID: 104, Popularity: 0.20, Age: 250},
+		{ID: 105, Popularity: 0.05, Age: 200},
+		{ID: 201, Popularity: 0, Age: 3, Unexplored: true},
+		{ID: 202, Popularity: 0, Age: 2, Unexplored: true},
+		{ID: 203, Popularity: 0, Age: 1, Unexplored: true},
+	}
+	fmt.Println("pages 201-203 are new (zero awareness); 101 is the entrenched top result")
+	fmt.Println()
+	det, err := shuffledeck.NewRanker(shuffledeck.Policy{Rule: shuffledeck.RuleNone, K: 1}, seed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("deterministic popularity ranking:")
+	fmt.Println(" ", format(det.Rank(pages)))
+	fmt.Println()
+	rec, err := shuffledeck.NewRanker(shuffledeck.RecommendedSafe(), seed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("recommended policy %v, five independent queries:\n", rec.Policy())
+	for i := 0; i < 5; i++ {
+		fmt.Println(" ", format(rec.Rank(pages)))
+	}
+	fmt.Println()
+	fmt.Println("each query re-randomizes; new pages surface at random positions")
+	fmt.Println("below the protected top result, getting their chance to prove worth")
+}
+
+func format(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return strings.Join(parts, " > ")
+}

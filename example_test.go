@@ -1,0 +1,34 @@
+package shuffledeck_test
+
+import (
+	"fmt"
+
+	shuffledeck "repro"
+)
+
+// ExampleRanker_Rank shows deterministic popularity ranking: pages sort
+// by popularity with ties broken by age (older first), and with
+// RuleNone no randomization is applied.
+func ExampleRanker_Rank() {
+	pages := []shuffledeck.PageStat{
+		{ID: 1, Popularity: 0.9, Age: 100},
+		{ID: 2, Popularity: 0.5, Age: 90},
+		{ID: 3, Popularity: 0.5, Age: 95}, // same popularity as 2, older
+		{ID: 4, Popularity: 0, Age: 1, Unexplored: true},
+	}
+	ranker, err := shuffledeck.NewRanker(shuffledeck.Policy{Rule: shuffledeck.RuleNone, K: 1}, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ranker.Rank(pages))
+	// Output: [1 3 2 4]
+}
+
+// ExampleRecommended shows the paper's recommended policy.
+func ExampleRecommended() {
+	fmt.Println(shuffledeck.Recommended())
+	fmt.Println(shuffledeck.RecommendedSafe())
+	// Output:
+	// selective(k=1,r=0.1)
+	// selective(k=2,r=0.1)
+}

@@ -1,0 +1,58 @@
+// Newsfeed: the entrenchment problem on a fast-churning content feed.
+//
+// A news community has short page lifetimes (stories go stale in weeks,
+// not years). This example simulates the same feed under deterministic
+// popularity ranking and under the paper's recommended randomized rank
+// promotion, and reports quality-per-click, how many stories are never
+// discovered at all, and how long a top story takes to become popular.
+//
+// Run with: go run ./examples/newsfeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	shuffledeck "repro"
+)
+
+func main() {
+	// A feed of 2,000 articles, 200 readers (20 monitored), one visit per
+	// reader per day; articles stay relevant for about four months.
+	feed := shuffledeck.ScaledCommunity(2000)
+	feed.LifetimeDays = 120
+
+	fmt.Println("news feed:", feed)
+	fmt.Println()
+	fmt.Printf("%-28s %8s %14s %12s\n", "ranking", "QPC", "undiscovered", "TBP (days)")
+
+	policies := []struct {
+		name string
+		pol  shuffledeck.Policy
+	}{
+		{"deterministic (entrenched)", shuffledeck.Policy{Rule: shuffledeck.RuleNone, K: 1}},
+		{"recommended (sel. r=0.1 k=1)", shuffledeck.Recommended()},
+		{"safe top (sel. r=0.1 k=2)", shuffledeck.RecommendedSafe()},
+		{"aggressive (sel. r=0.3 k=1)", shuffledeck.Policy{Rule: shuffledeck.RuleSelective, K: 1, R: 0.3}},
+	}
+	for _, p := range policies {
+		rep, err := shuffledeck.Simulate(feed, p.pol, shuffledeck.SimOptions{
+			Seed:        11,
+			MeasureTBP:  true,
+			MeasureDays: 960, // many article generations
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbp := "never"
+		if rep.TBPObservations > 0 {
+			tbp = fmt.Sprintf("%.0f (n=%d)", rep.TBPDays, rep.TBPObservations)
+		}
+		fmt.Printf("%-28s %8.3f %14.0f %12s\n", p.name, rep.QPC, rep.UndiscoveredPages, tbp)
+	}
+
+	fmt.Println()
+	fmt.Println("deterministic ranking rarely surfaces new high-quality articles before")
+	fmt.Println("they go stale; a 10% dose of selective randomization explores them")
+	fmt.Println("while they are still fresh")
+}

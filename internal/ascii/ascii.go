@@ -1,0 +1,150 @@
+// Package ascii renders experiment series as terminal charts, so the CLI
+// can display each reproduced figure without any plotting dependency.
+package ascii
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (X, Y) points.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // optional; assigned round-robin when zero
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders series into a fixed-size character grid with axis labels.
+type Chart struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	Width   int // plot columns (default 64)
+	Height  int // plot rows (default 16)
+	LogX    bool
+	MinYAt0 bool // force the y-axis to start at zero
+	series  []Series
+}
+
+// Add appends a series. Mismatched X/Y lengths are an error.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("ascii: series %q has %d x values and %d y values",
+			s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("ascii: series %q is empty", s.Name)
+	}
+	if s.Marker == 0 {
+		s.Marker = defaultMarkers[len(c.series)%len(defaultMarkers)]
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+// Render draws the chart. It returns an error when no series were added
+// or a log-x axis meets non-positive x values.
+func (c *Chart) Render() (string, error) {
+	if len(c.series) == 0 {
+		return "", fmt.Errorf("ascii: no series to render")
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				if x <= 0 {
+					return "", fmt.Errorf("ascii: log-x axis with non-positive x %v in %q", x, s.Name)
+				}
+				x = math.Log10(x)
+			}
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if c.MinYAt0 && yMin > 0 {
+		yMin = 0
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for col := range grid[r] {
+			grid[r][col] = ' '
+		}
+	}
+	plot := func(x, y float64, marker rune) {
+		if c.LogX {
+			x = math.Log10(x)
+		}
+		col := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		row := int(math.Round((y - yMin) / (yMax - yMin) * float64(height-1)))
+		row = height - 1 - row
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = marker
+		}
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], s.Marker)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "  %s\n", c.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", yMax)
+	yBot := fmt.Sprintf("%.3g", yMin)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	xLo, xHi := xMin, xMax
+	if c.LogX {
+		xLo, xHi = math.Pow(10, xMin), math.Pow(10, xMax)
+	}
+	axis := fmt.Sprintf("%.4g", xLo)
+	right := fmt.Sprintf("%.4g", xHi)
+	pad := width - len(axis) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s", strings.Repeat(" ", labelWidth), axis, strings.Repeat(" ", pad), right)
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", c.XLabel)
+	}
+	b.WriteString("\n")
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "  %c %s\n", s.Marker, s.Name)
+	}
+	return b.String(), nil
+}

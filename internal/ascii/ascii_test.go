@@ -1,0 +1,104 @@
+package ascii
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	c := &Chart{Title: "demo", XLabel: "x", Width: 40, Height: 10}
+	if err := c.Add(Series{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"demo", "line", "*", "(x)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	// Plot area height = 10 rows plus title, axis, labels, legend.
+	if lines := strings.Count(out, "\n"); lines < 13 {
+		t.Errorf("only %d lines rendered", lines)
+	}
+}
+
+func TestRenderEmptyChart(t *testing.T) {
+	c := &Chart{}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := &Chart{}
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := c.Add(Series{Name: "empty"}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestLogXRejectsNonPositive(t *testing.T) {
+	c := &Chart{LogX: true}
+	if err := c.Add(Series{Name: "s", X: []float64{0, 10}, Y: []float64{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("log-x with zero x rendered")
+	}
+}
+
+func TestLogXRenders(t *testing.T) {
+	c := &Chart{LogX: true, Width: 30, Height: 8}
+	if err := c.Add(Series{Name: "s", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1000") {
+		t.Errorf("x-axis label missing:\n%s", out)
+	}
+}
+
+func TestMarkersAssignedRoundRobin(t *testing.T) {
+	c := &Chart{}
+	for i := 0; i < 3; i++ {
+		if err := c.Add(Series{Name: "s", X: []float64{1}, Y: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.series[0].Marker == c.series[1].Marker {
+		t.Error("markers not distinct")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x or y) must not divide by zero.
+	c := &Chart{Width: 20, Height: 5}
+	if err := c.Add(Series{Name: "flat", X: []float64{2, 2, 2}, Y: []float64{3, 3, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinYAtZero(t *testing.T) {
+	c := &Chart{MinYAt0: true, Width: 20, Height: 5}
+	if err := c.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0") {
+		t.Errorf("y-axis should include 0:\n%s", out)
+	}
+}

@@ -1,0 +1,151 @@
+// Package attention implements the rank-bias user-attention model of the
+// paper's Section 5.3: the expected number of visits a result receives
+// depends only on the rank position at which it appears, following the
+// power law
+//
+//	F2(i) = θ · i^(−γ),  θ = v / Σ_{j=1..n} j^(−γ)
+//
+// with γ = 3/2 measured from AltaVista usage logs. The package provides
+// both the expectation (VisitRate) and an exact sampler that draws rank
+// positions from the normalized distribution via inverse-CDF binary search
+// over precomputed prefix sums.
+package attention
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/randutil"
+)
+
+// DefaultExponent is the rank-bias exponent γ reported for AltaVista logs.
+const DefaultExponent = 1.5
+
+// Model is an immutable rank-attention distribution over n rank positions.
+type Model struct {
+	n        int
+	exponent float64
+	visits   float64   // v: total visits per unit time
+	prefix   []float64 // prefix[i] = Σ_{j=1..i} j^(−γ); prefix[0] = 0
+}
+
+// NewModel builds the attention model for n rank positions, a per-interval
+// visit budget of visits, and the given power-law exponent. It returns an
+// error for invalid shapes rather than panicking so that experiment configs
+// can be validated uniformly.
+func NewModel(n int, visits, exponent float64) (*Model, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("attention: need n > 0 rank positions, got %d", n)
+	}
+	if visits < 0 {
+		return nil, fmt.Errorf("attention: negative visit budget %v", visits)
+	}
+	if exponent <= 0 {
+		return nil, fmt.Errorf("attention: exponent must be positive, got %v", exponent)
+	}
+	m := &Model{n: n, exponent: exponent, visits: visits}
+	m.prefix = make([]float64, n+1)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += math.Pow(float64(i), -exponent)
+		m.prefix[i] = sum
+	}
+	return m, nil
+}
+
+// Default builds the paper's model: exponent 3/2.
+func Default(n int, visits float64) (*Model, error) {
+	return NewModel(n, visits, DefaultExponent)
+}
+
+// N returns the number of rank positions.
+func (m *Model) N() int { return m.n }
+
+// Visits returns the per-interval visit budget v.
+func (m *Model) Visits() float64 { return m.visits }
+
+// Exponent returns the rank-bias exponent γ.
+func (m *Model) Exponent() float64 { return m.exponent }
+
+// Theta returns the normalization constant θ = v / Σ i^(−γ).
+func (m *Model) Theta() float64 {
+	return m.visits / m.prefix[m.n]
+}
+
+// VisitRate returns F2(rank): the expected number of visits per unit time
+// to the result shown at the given 1-based rank. Ranks outside [1, n]
+// receive zero attention.
+func (m *Model) VisitRate(rank int) float64 {
+	if rank < 1 || rank > m.n {
+		return 0
+	}
+	return m.Theta() * math.Pow(float64(rank), -m.exponent)
+}
+
+// VisitRateAt evaluates F2 at a fractional rank position, used by the
+// analytical model where expected ranks are continuous. Values below 1 are
+// clamped to rank 1; values above n are clamped to rank n.
+func (m *Model) VisitRateAt(rank float64) float64 {
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > float64(m.n) {
+		rank = float64(m.n)
+	}
+	return m.Theta() * math.Pow(rank, -m.exponent)
+}
+
+// Probability returns the probability that a single visit lands on the
+// given 1-based rank.
+func (m *Model) Probability(rank int) float64 {
+	if rank < 1 || rank > m.n {
+		return 0
+	}
+	return (m.prefix[rank] - m.prefix[rank-1]) / m.prefix[m.n]
+}
+
+// CumulativeMass returns Σ_{i=1..rank} F2(i): the expected visits per unit
+// time landing on the top `rank` positions. rank is clamped to [0, n].
+func (m *Model) CumulativeMass(rank int) float64 {
+	if rank < 0 {
+		rank = 0
+	}
+	if rank > m.n {
+		rank = m.n
+	}
+	return m.Theta() * m.prefix[rank]
+}
+
+// TailMass returns Σ_{i=rank..n} F2(i), the visit mass at and below rank.
+func (m *Model) TailMass(rank int) float64 {
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > m.n {
+		return 0
+	}
+	return m.Theta() * (m.prefix[m.n] - m.prefix[rank-1])
+}
+
+// SampleRank draws a 1-based rank position with probability proportional
+// to i^(−γ), by inverse-CDF binary search over the prefix sums.
+func (m *Model) SampleRank(rng *randutil.RNG) int {
+	target := rng.Float64() * m.prefix[m.n]
+	// Find the smallest i with prefix[i] > target.
+	i := sort.Search(m.n, func(k int) bool { return m.prefix[k+1] > target })
+	return i + 1
+}
+
+// SampleRanks draws count independent rank positions into dst (reusing its
+// backing array when possible) and returns the slice.
+func (m *Model) SampleRanks(rng *randutil.RNG, count int, dst []int) []int {
+	if cap(dst) < count {
+		dst = make([]int, count)
+	}
+	dst = dst[:count]
+	for i := range dst {
+		dst[i] = m.SampleRank(rng)
+	}
+	return dst
+}

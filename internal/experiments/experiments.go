@@ -1,0 +1,223 @@
+// Package experiments regenerates every figure of the paper's evaluation.
+// Each runner returns a Table holding the same rows/series the paper
+// reports, plus renderable chart data. DESIGN.md maps each experiment to
+// the modules it exercises; EXPERIMENTS.md records measured-versus-paper
+// outcomes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ascii"
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Seed is the base random seed; replication i uses Seed+i.
+	Seed uint64
+	// Seeds is the number of replications averaged per data point
+	// (default 3, or 1 in Quick mode).
+	Seeds int
+	// Quick shrinks communities, durations and sweeps so every runner
+	// finishes in seconds — used by the test suite; figures keep their
+	// shape but with more noise.
+	Quick bool
+	// Long enables the largest sweep points (n=10^6 pages, vu=10^6
+	// visits/day), which take minutes each.
+	Long bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Seeds <= 0 {
+		if o.Quick {
+			o.Seeds = 1
+		} else {
+			o.Seeds = 3
+		}
+	}
+	return o
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Series  []ascii.Series
+	LogX    bool
+	XLabel  string
+	YLabel  string
+	Notes   []string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Chart renders the table's series as an ASCII chart, or an empty string
+// when the table has no chartable series.
+func (t *Table) Chart() string {
+	if len(t.Series) == 0 {
+		return ""
+	}
+	c := &ascii.Chart{Title: t.Title, XLabel: t.XLabel, LogX: t.LogX, MinYAt0: true}
+	for _, s := range t.Series {
+		if err := c.Add(s); err != nil {
+			return ""
+		}
+	}
+	out, err := c.Render()
+	if err != nil {
+		return ""
+	}
+	return out
+}
+
+// baseCommunity returns the default community, or a scaled-down version
+// in Quick mode that reaches steady state in a few hundred days.
+func baseCommunity(o Options) community.Config {
+	if o.Quick {
+		c := community.Scaled(2000)
+		c.LifetimeDays = 120
+		return c
+	}
+	return community.Default()
+}
+
+// defaultQualities materializes the §6.1 quality multiset for n pages.
+func defaultQualities(n int) []float64 {
+	return quality.DeterministicWithTop(quality.Default(), n)
+}
+
+// simOptions picks warmup and measurement windows: two lifetimes of
+// warmup, and a measurement window long enough to average over several
+// top-page rebirths (QPC is dominated by whether the best pages are
+// currently discovered).
+func simOptions(comm community.Config, o Options, seed uint64) sim.Options {
+	warm := int(2 * comm.LifetimeDays)
+	measure := int(4 * comm.LifetimeDays)
+	if o.Quick {
+		measure = int(2 * comm.LifetimeDays)
+	}
+	return sim.Options{Seed: seed, WarmupDays: warm, MeasureDays: measure}
+}
+
+// meanQPC averages normalized simulated QPC over the configured seeds.
+func meanQPC(comm community.Config, pol core.Policy, qs []float64, o Options,
+	mutate func(*sim.Options)) (stats.Summary, error) {
+	var vals []float64
+	for i := 0; i < o.Seeds; i++ {
+		opts := simOptions(comm, o, o.Seed+uint64(i))
+		if mutate != nil {
+			mutate(&opts)
+		}
+		s, err := sim.New(comm, pol, qs, opts)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		vals = append(vals, s.Run().QPC)
+	}
+	return stats.Summarize(vals), nil
+}
+
+// meanAbsQPC averages absolute simulated QPC (Figure 8's y-axis).
+func meanAbsQPC(comm community.Config, pol core.Policy, qs []float64, o Options,
+	mutate func(*sim.Options)) (stats.Summary, error) {
+	var vals []float64
+	for i := 0; i < o.Seeds; i++ {
+		opts := simOptions(comm, o, o.Seed+uint64(i))
+		if mutate != nil {
+			mutate(&opts)
+		}
+		s, err := sim.New(comm, pol, qs, opts)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		vals = append(vals, s.Run().AbsoluteQPC)
+	}
+	return stats.Summarize(vals), nil
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Table, error)
+}
+
+// All returns every figure runner in paper order.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "Live study: funny-vote ratio with vs without rank promotion", Figure1},
+		{"fig2", "Exploration/exploitation tradeoff for one high-quality page", Figure2},
+		{"fig3", "Steady-state awareness distribution of top-quality pages", Figure3},
+		{"fig4a", "Popularity evolution of a Q=0.4 page", Figure4a},
+		{"fig4b", "Time to become popular vs degree of randomization", Figure4b},
+		{"fig5", "Quality-per-click vs degree of randomization", Figure5},
+		{"fig6", "QPC vs r and starting point k (selective, simulation)", Figure6},
+		{"fig7a", "Robustness: community size", Figure7a},
+		{"fig7b", "Robustness: page lifetime", Figure7b},
+		{"fig7c", "Robustness: visit rate", Figure7c},
+		{"fig7d", "Robustness: user population size", Figure7d},
+		{"fig8", "Mixed surfing and searching", Figure8},
+		{"rec", "Recommendation check: r=0.1, k in {1,2}", Recommendation},
+		{"fn1", "Ablation: popularity-correlated page lifetimes (footnote 1)", Footnote1},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick returns fast test options.
+func quick() Options { return Options{Quick: true, Seed: 7} }
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seed == 0 || o.Seeds != 3 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Seeds != 1 {
+		t.Fatalf("quick defaults: %+v", q)
+	}
+}
+
+func TestAllRunnersRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if ids[r.ID] {
+			t.Fatalf("duplicate runner id %q", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	// Every figure in the paper's evaluation must be present.
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig4a", "fig4b",
+		"fig5", "fig6", "fig7a", "fig7b", "fig7c", "fig7d", "fig8", "rec"} {
+		if !ids[id] {
+			t.Errorf("missing runner %q", id)
+		}
+	}
+	if _, ok := ByID("fig5"); !ok {
+		t.Error("ByID failed for fig5")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID found nonexistent runner")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	out := tbl.Render()
+	for _, frag := range []string{"demo", "long-column", "333", "note: a note"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	tbl, err := Figure1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %v", tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		ratio, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || ratio <= 0 || ratio >= 1 {
+			t.Fatalf("bad ratio cell %q", row[1])
+		}
+	}
+}
+
+func TestFigure2Quick(t *testing.T) {
+	tbl, err := Figure2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("series: %d", len(tbl.Series))
+	}
+	if tbl.Chart() == "" {
+		t.Fatal("no chart rendered")
+	}
+}
+
+func TestFigure3Quick(t *testing.T) {
+	tbl, err := Figure3(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 10 {
+		t.Fatalf("want 10 awareness bands, got %d", len(tbl.Rows))
+	}
+	// Probability masses must sum to ~1 per column.
+	for col := 1; col <= 2; col++ {
+		sum := 0.0
+		for _, row := range tbl.Rows {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		if sum < 0.98 || sum > 1.02 {
+			t.Errorf("column %d masses sum to %v", col, sum)
+		}
+	}
+}
+
+func TestFigure4aQuick(t *testing.T) {
+	tbl, err := Figure4a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 3 {
+		t.Fatalf("series: %d", len(tbl.Series))
+	}
+	// Selective (last series) never trails none (first): promotion can
+	// only accelerate discovery. (In quick mode the community is so
+	// small that both may remain undiscovered within the window.)
+	selY := tbl.Series[2].Y
+	noneY := tbl.Series[0].Y
+	for i := range selY {
+		if selY[i] < noneY[i]-1e-12 {
+			t.Fatalf("day %v: selective %v below none %v", tbl.Series[2].X[i], selY[i], noneY[i])
+		}
+	}
+	// Trajectories are monotone non-decreasing.
+	for i := 1; i < len(selY); i++ {
+		if selY[i] < selY[i-1] {
+			t.Fatalf("selective trajectory decreased at %d", i)
+		}
+	}
+}
+
+func TestFigure4bQuick(t *testing.T) {
+	tbl, err := Figure4b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Analytic selective TBP must fall with r.
+	sel := tbl.Series[0].Y
+	if sel[len(sel)-1] >= sel[0] {
+		t.Errorf("selective analytic TBP not decreasing: %v", sel)
+	}
+}
+
+func TestFigure5Quick(t *testing.T) {
+	tbl, err := Figure5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	selA := tbl.Series[0].Y
+	if selA[len(selA)-1] <= selA[0] {
+		t.Errorf("analytic selective QPC not increasing over r: %v", selA)
+	}
+}
+
+func TestFigure6Quick(t *testing.T) {
+	tbl, err := Figure6(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 || len(tbl.Rows) != 3 {
+		t.Fatalf("shape: %d series, %d rows", len(tbl.Series), len(tbl.Rows))
+	}
+}
+
+func TestFigure7aQuick(t *testing.T) {
+	tbl, err := Figure7a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	if !tbl.LogX {
+		t.Error("community-size sweep should use log x")
+	}
+}
+
+func TestFigure7bQuick(t *testing.T) {
+	tbl, err := Figure7b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure7cQuick(t *testing.T) {
+	tbl, err := Figure7c(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure7dQuick(t *testing.T) {
+	tbl, err := Figure7d(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure8Quick(t *testing.T) {
+	tbl, err := Figure8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 || len(tbl.Series) != 3 {
+		t.Fatalf("shape: %d rows, %d series", len(tbl.Rows), len(tbl.Series))
+	}
+	// All QPC values positive; the never-worse ordering claim is checked
+	// in full (multi-seed) mode — a single quick-mode seed is dominated
+	// by whether the top page happens to be discovered.
+	for _, s := range tbl.Series {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("series %q point %d: QPC %v not positive", s.Name, i, y)
+			}
+		}
+	}
+	// At x=1 (pure surfing) the policy cannot matter: all three methods
+	// must coincide.
+	last := len(tbl.Series[0].Y) - 1
+	a, b, c := tbl.Series[0].Y[last], tbl.Series[1].Y[last], tbl.Series[2].Y[last]
+	if a != b || b != c {
+		t.Errorf("pure surfing differs across policies: %v %v %v", a, b, c)
+	}
+}
+
+func TestRecommendationQuick(t *testing.T) {
+	tbl, err := Recommendation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	parse := func(row int) float64 {
+		v, err := strconv.ParseFloat(tbl.Rows[row][1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	none, rec := parse(0), parse(1)
+	if rec <= none {
+		t.Errorf("recommended QPC %v not above nonrandomized %v", rec, none)
+	}
+}
+
+func TestFootnote1Quick(t *testing.T) {
+	tbl, err := Footnote1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if _, err := strconv.ParseFloat(row[1], 64); err != nil {
+			t.Fatalf("bad QPC cell %q", row[1])
+		}
+	}
+}

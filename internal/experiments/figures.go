@@ -1,0 +1,477 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analytic"
+	"repro/internal/ascii"
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/livestudy"
+	"repro/internal/quality"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// solveAnalytic builds the §5 model for the community and policy.
+func solveAnalytic(comm community.Config, pol core.Policy) (*analytic.Model, error) {
+	qs := defaultQualities(comm.Pages)
+	buckets := quality.Buckets(qs, 40)
+	return analytic.Solve(comm, pol, buckets, analytic.Options{})
+}
+
+// Figure1 reruns the Appendix A live study: two user groups, one with the
+// k=21/r=1 selective promotion variant, measuring the funny-vote ratio
+// over the final 15 days. The paper reports ≈ +60% improvement.
+func Figure1(o Options) (*Table, error) {
+	o = o.withDefaults()
+	cfg := livestudy.Config{}
+	if o.Quick {
+		cfg.Items = 300
+		cfg.UsersPerGroup = 120
+		cfg.DurationDays = 30
+		cfg.MeasureLastDays = 10
+		cfg.ItemLifetimeDays = 20
+	}
+	var ctrl, treat, imps, exps []float64
+	for i := 0; i < o.Seeds; i++ {
+		cfg.Seed = o.Seed + uint64(i)
+		res, err := livestudy.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ctrl = append(ctrl, res.Control.FunnyRatio)
+		treat = append(treat, res.Treatment.FunnyRatio)
+		imps = append(imps, res.Improvement)
+		if exp, _, err := res.Control.RankBiasExponent(); err == nil {
+			exps = append(exps, exp)
+		}
+	}
+	sc, st, si := stats.Summarize(ctrl), stats.Summarize(treat), stats.Summarize(imps)
+	se := stats.Summarize(exps)
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Live study: ratio of funny votes (paper: 0.22 without vs 0.35 with, ~+60%)",
+		Columns: []string{"group", "funny-vote ratio", "95% CI"},
+		Rows: [][]string{
+			{"without rank promotion", fmt.Sprintf("%.3f", sc.Mean), fmt.Sprintf("±%.3f", sc.CI95())},
+			{"with rank promotion", fmt.Sprintf("%.3f", st.Mean), fmt.Sprintf("±%.3f", st.CI95())},
+		},
+		Notes: []string{
+			fmt.Sprintf("improvement %+.0f%% ± %.0f%% over %d runs (paper: ~+60%%)",
+				100*si.Mean, 100*si.CI95(), si.N),
+			fmt.Sprintf("A.2 check: rank-vs-visits power-law exponent %.2f (paper: ~-1.5)", se.Mean),
+		},
+	}
+	return t, nil
+}
+
+// Figure2 reproduces the conceptual tradeoff figure: the visit-rate curve
+// of one high-quality page over its lifetime with and without promotion,
+// and the integrated exploration-benefit and exploitation-loss areas.
+func Figure2(o Options) (*Table, error) {
+	o = o.withDefaults()
+	comm := baseCommunity(o)
+	none, err := solveAnalytic(comm, core.Policy{Rule: core.RuleNone, K: 1})
+	if err != nil {
+		return nil, err
+	}
+	promo, err := solveAnalytic(comm, core.Policy{Rule: core.RuleSelective, K: 1, R: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	q := quality.DefaultMax
+	days := int(comm.LifetimeDays)
+	with := promo.VisitTrajectory(q, days)
+	without := none.VisitTrajectory(q, days)
+	benefit, loss := promo.TradeoffAreas(none, q, days)
+
+	xs := make([]float64, 0, 32)
+	yw := make([]float64, 0, 32)
+	yo := make([]float64, 0, 32)
+	step := days / 30
+	if step < 1 {
+		step = 1
+	}
+	rows := [][]string{}
+	for d := 0; d <= days; d += step {
+		xs = append(xs, float64(d))
+		yw = append(yw, with[d])
+		yo = append(yo, without[d])
+		if d%(step*5) == 0 {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", d),
+				fmt.Sprintf("%.3f", with[d]),
+				fmt.Sprintf("%.3f", without[d]),
+			})
+		}
+	}
+	// The trajectory-difference loss underestimates the exploitation cost
+	// when the unpromoted page never becomes popular within its lifetime
+	// (its curve stays at zero). The steady-state demotion deficit — how
+	// many visits per day an already-popular page gives up because
+	// promoted pages displace it — is the figure's other shaded area.
+	demotion := none.ExactF(q) - promo.ExactF(q)
+	if demotion < 0 {
+		demotion = 0
+	}
+	return &Table{
+		ID:      "fig2",
+		Title:   "Visit rate of a Q=0.4 page over one lifetime (exploration vs exploitation)",
+		Columns: []string{"day", "with promotion (visits/day)", "without promotion"},
+		Rows:    rows,
+		Series: []ascii.Series{
+			{Name: "with rank promotion", X: xs, Y: yw},
+			{Name: "without rank promotion", X: xs, Y: yo},
+		},
+		XLabel: "day",
+		Notes: []string{
+			fmt.Sprintf("exploration benefit = %.0f visits, trajectory-difference loss = %.0f visits over %d days",
+				benefit, loss, days),
+			fmt.Sprintf("steady-state exploitation loss: a popular page gives up %.1f visits/day to promoted pages",
+				demotion),
+		},
+	}, nil
+}
+
+// Figure3 reproduces the steady-state awareness distribution of
+// top-quality pages under nonrandomized ranking and under selective
+// promotion (r=0.2, k=1).
+func Figure3(o Options) (*Table, error) {
+	o = o.withDefaults()
+	comm := baseCommunity(o)
+	none, err := solveAnalytic(comm, core.Policy{Rule: core.RuleNone, K: 1})
+	if err != nil {
+		return nil, err
+	}
+	sel, err := solveAnalytic(comm, core.Policy{Rule: core.RuleSelective, K: 1, R: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	q := quality.DefaultMax
+	distNone := none.AwarenessDistribution(q)
+	distSel := sel.AwarenessDistribution(q)
+	// Bin awareness into tenths for the table/chart.
+	const bins = 10
+	binned := func(dist []float64) []float64 {
+		out := make([]float64, bins)
+		m := len(dist) - 1
+		for i, f := range dist {
+			b := i * bins / (m + 1)
+			if b >= bins {
+				b = bins - 1
+			}
+			out[b] += f
+		}
+		return out
+	}
+	bn, bs := binned(distNone), binned(distSel)
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Awareness distribution of highest-quality pages (probability mass per awareness band)",
+		Columns: []string{"awareness", "no randomization", "selective (r=0.2, k=1)"},
+		XLabel:  "awareness",
+	}
+	xs := make([]float64, bins)
+	for b := 0; b < bins; b++ {
+		xs[b] = (float64(b) + 0.5) / bins
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f–%.1f", float64(b)/bins, float64(b+1)/bins),
+			fmt.Sprintf("%.3f", bn[b]),
+			fmt.Sprintf("%.3f", bs[b]),
+		})
+	}
+	t.Series = []ascii.Series{
+		{Name: "no randomization", X: xs, Y: bn},
+		{Name: "selective randomization (r=0.2, k=1)", X: xs, Y: bs},
+	}
+	t.Notes = []string{
+		"paper: without randomization most top-quality pages sit near zero awareness;",
+		"with selective promotion most sit near full awareness, with a thin middle",
+	}
+	return t, nil
+}
+
+// Figure4a reproduces the analytic popularity-evolution curves of a
+// Q=0.4 page under nonrandomized, uniform (r=0.2) and selective (r=0.2)
+// ranking.
+func Figure4a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	comm := baseCommunity(o)
+	days := 500
+	if o.Quick {
+		days = 300
+	}
+	q := quality.DefaultMax
+	policies := []struct {
+		name string
+		pol  core.Policy
+	}{
+		{"no randomization", core.Policy{Rule: core.RuleNone, K: 1}},
+		{"uniform randomization (r=0.2)", core.Policy{Rule: core.RuleUniform, K: 1, R: 0.2}},
+		{"selective randomization (r=0.2)", core.Policy{Rule: core.RuleSelective, K: 1, R: 0.2}},
+	}
+	t := &Table{
+		ID:      "fig4a",
+		Title:   "Popularity evolution of a page of quality Q=0.4 (analytic)",
+		Columns: []string{"day"},
+		XLabel:  "day",
+	}
+	var trajs [][]float64
+	for _, p := range policies {
+		mdl, err := solveAnalytic(comm, p.pol)
+		if err != nil {
+			return nil, err
+		}
+		trajs = append(trajs, mdl.PopularityTrajectory(q, days))
+		t.Columns = append(t.Columns, p.name)
+	}
+	step := days / 25
+	if step < 1 {
+		step = 1
+	}
+	var xs []float64
+	ys := make([][]float64, len(policies))
+	for d := 0; d <= days; d += step {
+		xs = append(xs, float64(d))
+		row := []string{fmt.Sprintf("%d", d)}
+		for i := range policies {
+			ys[i] = append(ys[i], trajs[i][d])
+			row = append(row, fmt.Sprintf("%.3f", trajs[i][d]))
+		}
+		if d%(5*step) == 0 {
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	for i, p := range policies {
+		t.Series = append(t.Series, ascii.Series{Name: p.name, X: xs, Y: ys[i]})
+	}
+	t.Notes = []string{
+		"paper: selective promotion rises first, uniform second, nonrandomized last;",
+		"under nonrandomized ranking the expected wait for discovery exceeds the page lifetime",
+	}
+	return t, nil
+}
+
+// tbpPoint measures simulated TBP via an immortal recycled probe.
+func tbpPoint(comm community.Config, pol core.Policy, qs []float64, o Options) (float64, int, error) {
+	var all []float64
+	done := 0
+	for i := 0; i < o.Seeds; i++ {
+		opts := simOptions(comm, o, o.Seed+uint64(i))
+		opts.TrackTBP = true
+		opts.RecycleProbe = true
+		opts.ImmortalProbe = true
+		opts.MeasureDays = int(6 * comm.LifetimeDays)
+		if o.Quick {
+			opts.MeasureDays = int(3 * comm.LifetimeDays)
+		}
+		s, err := sim.New(comm, pol, qs, opts)
+		if err != nil {
+			return 0, 0, err
+		}
+		res := s.Run()
+		if res.ProbesCompleted > 0 {
+			all = append(all, res.TBP.Mean)
+			done += res.ProbesCompleted
+		}
+	}
+	if len(all) == 0 {
+		return math.NaN(), 0, nil
+	}
+	return stats.Summarize(all).Mean, done, nil
+}
+
+// Figure4b reproduces TBP versus degree of randomization for selective
+// and uniform promotion, analysis beside simulation.
+func Figure4b(o Options) (*Table, error) {
+	o = o.withDefaults()
+	comm := baseCommunity(o)
+	qs := defaultQualities(comm.Pages)
+	rs := []float64{0.02, 0.05, 0.1, 0.15, 0.2}
+	if o.Quick {
+		rs = []float64{0.05, 0.2}
+	}
+	t := &Table{
+		ID:    "fig4b",
+		Title: "TBP (days) for a Q=0.4 page vs degree of randomization r (k=1)",
+		Columns: []string{"r", "selective (analysis)", "selective (simulation)",
+			"uniform (analysis)", "uniform (simulation)"},
+		XLabel: "r",
+	}
+	var xs, selA, selS, uniA, uniS []float64
+	for _, r := range rs {
+		selPol := core.Policy{Rule: core.RuleSelective, K: 1, R: r}
+		uniPol := core.Policy{Rule: core.RuleUniform, K: 1, R: r}
+		mdlSel, err := solveAnalytic(comm, selPol)
+		if err != nil {
+			return nil, err
+		}
+		mdlUni, err := solveAnalytic(comm, uniPol)
+		if err != nil {
+			return nil, err
+		}
+		q := quality.DefaultMax
+		aSel, aUni := mdlSel.TBP(q), mdlUni.TBP(q)
+		sSel, nSel, err := tbpPoint(comm, selPol, qs, o)
+		if err != nil {
+			return nil, err
+		}
+		sUni, nUni, err := tbpPoint(comm, uniPol, qs, o)
+		if err != nil {
+			return nil, err
+		}
+		fmtSim := func(v float64, n int) string {
+			if math.IsNaN(v) {
+				return "no completion"
+			}
+			return fmt.Sprintf("%.0f (n=%d)", v, n)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", r),
+			fmt.Sprintf("%.0f", aSel), fmtSim(sSel, nSel),
+			fmt.Sprintf("%.0f", aUni), fmtSim(sUni, nUni),
+		})
+		xs = append(xs, r)
+		selA = append(selA, aSel)
+		uniA = append(uniA, aUni)
+		if !math.IsNaN(sSel) {
+			selS = append(selS, sSel)
+		} else {
+			selS = append(selS, 0)
+		}
+		if !math.IsNaN(sUni) {
+			uniS = append(uniS, sUni)
+		} else {
+			uniS = append(uniS, 0)
+		}
+	}
+	t.Series = []ascii.Series{
+		{Name: "selective (analysis)", X: xs, Y: selA},
+		{Name: "selective (simulation)", X: xs, Y: selS},
+		{Name: "uniform (analysis)", X: xs, Y: uniA},
+		{Name: "uniform (simulation)", X: xs, Y: uniS},
+	}
+	t.Notes = []string{
+		"paper: TBP falls steeply with r and selective beats uniform at every r;",
+		"at r→0 TBP exceeds the plotted range (the paper clips its axis at 500 days)",
+	}
+	return t, nil
+}
+
+// Figure5 reproduces normalized QPC versus degree of randomization for
+// selective and uniform promotion, analysis beside simulation (k=1).
+func Figure5(o Options) (*Table, error) {
+	o = o.withDefaults()
+	comm := baseCommunity(o)
+	qs := defaultQualities(comm.Pages)
+	rs := []float64{0, 0.05, 0.1, 0.15, 0.2}
+	if o.Quick {
+		rs = []float64{0, 0.1, 0.2}
+	}
+	t := &Table{
+		ID:    "fig5",
+		Title: "Normalized QPC vs degree of randomization r (k=1)",
+		Columns: []string{"r", "selective (analysis)", "selective (simulation)",
+			"uniform (analysis)", "uniform (simulation)"},
+		XLabel: "r",
+	}
+	var xs, selA, selS, uniA, uniS []float64
+	for _, r := range rs {
+		var selPol, uniPol core.Policy
+		if r == 0 {
+			selPol = core.Policy{Rule: core.RuleNone, K: 1}
+			uniPol = selPol
+		} else {
+			selPol = core.Policy{Rule: core.RuleSelective, K: 1, R: r}
+			uniPol = core.Policy{Rule: core.RuleUniform, K: 1, R: r}
+		}
+		mdlSel, err := solveAnalytic(comm, selPol)
+		if err != nil {
+			return nil, err
+		}
+		mdlUni, err := solveAnalytic(comm, uniPol)
+		if err != nil {
+			return nil, err
+		}
+		simSel, err := meanQPC(comm, selPol, qs, o, nil)
+		if err != nil {
+			return nil, err
+		}
+		simUni, err := meanQPC(comm, uniPol, qs, o, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", r),
+			fmt.Sprintf("%.3f", mdlSel.QPC()),
+			fmt.Sprintf("%.3f ± %.3f", simSel.Mean, simSel.CI95()),
+			fmt.Sprintf("%.3f", mdlUni.QPC()),
+			fmt.Sprintf("%.3f ± %.3f", simUni.Mean, simUni.CI95()),
+		})
+		xs = append(xs, r)
+		selA = append(selA, mdlSel.QPC())
+		selS = append(selS, simSel.Mean)
+		uniA = append(uniA, mdlUni.QPC())
+		uniS = append(uniS, simUni.Mean)
+	}
+	t.Series = []ascii.Series{
+		{Name: "selective (analysis)", X: xs, Y: selA},
+		{Name: "selective (simulation)", X: xs, Y: selS},
+		{Name: "uniform (analysis)", X: xs, Y: uniA},
+		{Name: "uniform (simulation)", X: xs, Y: uniS},
+	}
+	t.Notes = []string{"paper: QPC rises substantially with moderate r, more under selective promotion"}
+	return t, nil
+}
+
+// Figure6 reproduces the simulation sweep of QPC against r and the
+// starting point k under selective promotion.
+func Figure6(o Options) (*Table, error) {
+	o = o.withDefaults()
+	comm := baseCommunity(o)
+	qs := defaultQualities(comm.Pages)
+	rs := []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	ks := []int{1, 2, 6, 11, 21}
+	if o.Quick {
+		rs = []float64{0, 0.2, 1.0}
+		ks = []int{1, 21}
+	}
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Normalized QPC vs r and k (selective promotion, simulation)",
+		Columns: []string{"r"},
+		XLabel:  "r",
+	}
+	for _, k := range ks {
+		t.Columns = append(t.Columns, fmt.Sprintf("k=%d", k))
+	}
+	series := make([]ascii.Series, len(ks))
+	for i, k := range ks {
+		series[i].Name = fmt.Sprintf("k=%d", k)
+	}
+	for _, r := range rs {
+		row := []string{fmt.Sprintf("%.1f", r)}
+		for i, k := range ks {
+			pol := core.Policy{Rule: core.RuleSelective, K: k, R: r}
+			if r == 0 {
+				pol = core.Policy{Rule: core.RuleNone, K: 1}
+			}
+			s, err := meanQPC(comm, pol, qs, o, nil)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.3f", s.Mean))
+			series[i].X = append(series[i].X, r)
+			series[i].Y = append(series[i].Y, s.Mean)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Series = series
+	t.Notes = []string{
+		"paper: small k peaks at small r then declines; larger k needs larger r;",
+		"r=0.1 with k in {1,2} captures most of the attainable QPC",
+	}
+	return t, nil
+}

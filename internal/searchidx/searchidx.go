@@ -1,0 +1,250 @@
+// Package searchidx is a minimal search-engine substrate: a tokenizer, an
+// in-memory inverted index with conjunctive (AND) retrieval, and
+// popularity-ordered result ranking with a randomized rank-promotion hook.
+//
+// The paper's model assumes a one-to-one correspondence between queries
+// and topics, each query returning exactly the pages of one community
+// (§1.4). This package realizes that abstraction concretely: documents
+// tagged with topic terms are indexed, a query retrieves the matching
+// community, and results are ordered by popularity with the configured
+// promotion policy applied — the component a real engine would deploy.
+package searchidx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/core"
+	"repro/internal/randutil"
+)
+
+// Document is an indexable page.
+type Document struct {
+	ID   int
+	Text string
+}
+
+// Index is an inverted index over documents with per-document popularity
+// scores. It is not safe for concurrent mutation.
+type Index struct {
+	postings map[string][]int // term -> sorted doc ids
+	docs     map[int]Document
+	pop      map[int]float64 // popularity score per doc
+	birth    map[int]int     // insertion sequence, for age tie-breaks
+	seq      int
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{
+		postings: make(map[string][]int),
+		docs:     make(map[int]Document),
+		pop:      make(map[int]float64),
+		birth:    make(map[int]int),
+	}
+}
+
+// Tokenize lower-cases and splits text into alphanumeric terms.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Add indexes a document. Re-adding an existing ID is an error: documents
+// are immutable once indexed (delete and re-add to change).
+func (ix *Index) Add(doc Document) error {
+	if _, ok := ix.docs[doc.ID]; ok {
+		return fmt.Errorf("searchidx: document %d already indexed", doc.ID)
+	}
+	terms := Tokenize(doc.Text)
+	if len(terms) == 0 {
+		return fmt.Errorf("searchidx: document %d has no indexable terms", doc.ID)
+	}
+	ix.docs[doc.ID] = doc
+	ix.birth[doc.ID] = ix.seq
+	ix.seq++
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		ids := ix.postings[t]
+		pos := sort.SearchInts(ids, doc.ID)
+		ids = append(ids, 0)
+		copy(ids[pos+1:], ids[pos:])
+		ids[pos] = doc.ID
+		ix.postings[t] = ids
+	}
+	return nil
+}
+
+// Delete removes a document. It reports whether the document existed.
+func (ix *Index) Delete(id int) bool {
+	doc, ok := ix.docs[id]
+	if !ok {
+		return false
+	}
+	for _, t := range Tokenize(doc.Text) {
+		ids := ix.postings[t]
+		pos := sort.SearchInts(ids, id)
+		if pos < len(ids) && ids[pos] == id {
+			ix.postings[t] = append(ids[:pos], ids[pos+1:]...)
+			if len(ix.postings[t]) == 0 {
+				delete(ix.postings, t)
+			}
+		}
+	}
+	delete(ix.docs, id)
+	delete(ix.pop, id)
+	delete(ix.birth, id)
+	return true
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// SetPopularity records a document's current popularity score (in-link
+// count, PageRank, visit count — whatever measure the engine uses).
+func (ix *Index) SetPopularity(id int, score float64) error {
+	if _, ok := ix.docs[id]; !ok {
+		return fmt.Errorf("searchidx: unknown document %d", id)
+	}
+	ix.pop[id] = score
+	return nil
+}
+
+// Popularity returns a document's score (zero if never set).
+func (ix *Index) Popularity(id int) float64 { return ix.pop[id] }
+
+// retrieve returns the ids matching every query term (conjunctive).
+func (ix *Index) retrieve(query string) []int {
+	terms := Tokenize(query)
+	if len(terms) == 0 {
+		return nil
+	}
+	// Intersect postings, shortest first.
+	lists := make([][]int, 0, len(terms))
+	seen := map[string]bool{}
+	for _, t := range terms {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		ids, ok := ix.postings[t]
+		if !ok {
+			return nil
+		}
+		lists = append(lists, ids)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	result := lists[0]
+	for _, l := range lists[1:] {
+		result = intersect(result, l)
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	// Copy so callers cannot alias postings storage.
+	return append([]int(nil), result...)
+}
+
+// intersect merges two sorted id lists.
+func intersect(a, b []int) []int {
+	out := make([]int, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	ID         int
+	Popularity float64
+	Promoted   bool // true when placed by the promotion pool
+}
+
+// Search retrieves documents matching all query terms and ranks them by
+// popularity descending (ties: older document first), applying the given
+// rank-promotion policy. Under core.RuleSelective the promotion pool is
+// the zero-popularity matches; under core.RuleUniform each match joins
+// the pool with probability policy.R. rng drives the randomized merge.
+func (ix *Index) Search(query string, policy core.Policy, rng *randutil.RNG) ([]Result, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("searchidx: nil rng")
+	}
+	ids := ix.retrieve(query)
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	// Rank deterministically.
+	sort.Slice(ids, func(a, b int) bool {
+		pa, pb := ix.pop[ids[a]], ix.pop[ids[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		ba, bb := ix.birth[ids[a]], ix.birth[ids[b]]
+		if ba != bb {
+			return ba < bb
+		}
+		return ids[a] < ids[b]
+	})
+	var det, pool []int
+	switch policy.Rule {
+	case core.RuleSelective:
+		for _, id := range ids {
+			if ix.pop[id] == 0 {
+				pool = append(pool, id)
+			} else {
+				det = append(det, id)
+			}
+		}
+	case core.RuleUniform:
+		for _, id := range ids {
+			if rng.Bernoulli(policy.R) {
+				pool = append(pool, id)
+			} else {
+				det = append(det, id)
+			}
+		}
+	default:
+		det = ids
+	}
+	poolSet := make(map[int]bool, len(pool))
+	for _, id := range pool {
+		poolSet[id] = true
+	}
+	merged := core.Merge(core.Slice(det), core.Slice(pool), policy.K, policy.R, rng, nil)
+	out := make([]Result, len(merged))
+	for i, id := range merged {
+		out[i] = Result{ID: id, Popularity: ix.pop[id], Promoted: poolSet[id]}
+	}
+	return out, nil
+}
+
+// Terms returns the number of distinct indexed terms.
+func (ix *Index) Terms() int { return len(ix.postings) }

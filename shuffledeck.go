@@ -1,0 +1,295 @@
+// Package shuffledeck is a Go implementation of partially randomized
+// ranking of search-engine results, after Pandey, Roy, Olston, Cho and
+// Chakrabarti, "Shuffling a Stacked Deck: The Case for Partially
+// Randomized Ranking of Search Engine Results" (VLDB 2005).
+//
+// Popularity-based ranking entrenches already-popular pages: new
+// high-quality pages are shut out because users only see — and therefore
+// only popularize — what is already ranked highly. Randomized rank
+// promotion counters this by merging a small randomized sample of
+// unexplored pages into the deterministic ranking: with probability r
+// each result slot after position k−1 is taken by a random page from the
+// promotion pool instead of the next deterministic result. The paper's
+// recommendation, exposed here as Recommended, is selective promotion
+// (pool = zero-awareness pages) with r = 0.1 and k ∈ {1, 2}.
+//
+// The package exposes four layers:
+//
+//   - Ranker: apply randomized rank promotion to your own result lists;
+//   - community simulation (Simulate): the paper's §6 Web-community
+//     simulator, measuring quality-per-click and time-to-become-popular
+//     under any policy;
+//   - the §5 analytical steady-state model (Predict);
+//   - the Appendix A live study (RunLiveStudy) and every figure of the
+//     evaluation (ReproduceFigure).
+package shuffledeck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analytic"
+	"repro/internal/community"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/livestudy"
+	"repro/internal/quality"
+	"repro/internal/randutil"
+	"repro/internal/sim"
+)
+
+// Rule selects the promotion pool (§4 of the paper).
+type Rule = core.Rule
+
+// Promotion pool rules.
+const (
+	// RuleNone disables promotion (pure popularity ranking).
+	RuleNone = core.RuleNone
+	// RuleUniform pools every page independently with probability r.
+	RuleUniform = core.RuleUniform
+	// RuleSelective pools exactly the unexplored (zero-awareness) pages.
+	RuleSelective = core.RuleSelective
+)
+
+// Policy is a rank-promotion configuration: a pool rule, the protected
+// prefix length k, and the degree of randomization r.
+type Policy = core.Policy
+
+// Recommended returns the paper's §6.4 recipe: selective promotion with
+// 10% randomization starting at the top position.
+func Recommended() Policy { return core.Recommended() }
+
+// RecommendedSafe returns the variant that never perturbs the top result.
+func RecommendedSafe() Policy { return core.RecommendedSafe() }
+
+// Community describes a topic community: page count, user population,
+// monitored-user sample, visit budget and page lifetime (§3).
+type Community = community.Config
+
+// DefaultCommunity returns the paper's §6.1 default community
+// (n=10,000 pages, 1,000 users, 100 monitored, 1,000 visits/day, 1.5-year
+// page lifetime).
+func DefaultCommunity() Community { return community.Default() }
+
+// ScaledCommunity returns an n-page community with the paper's default
+// proportions (§7.1).
+func ScaledCommunity(n int) Community { return community.Scaled(n) }
+
+// PageStat is one page as seen by the Ranker: an opaque ID, its current
+// popularity score, its age (smaller = older, used to break popularity
+// ties in the paper's convention — older first), and whether it is
+// unexplored (no measured awareness), which places it in the selective
+// promotion pool.
+type PageStat struct {
+	ID         int
+	Popularity float64
+	Age        int
+	Unexplored bool
+}
+
+// Ranker applies randomized rank promotion to result lists. It is not
+// safe for concurrent use; create one per goroutine (they are cheap).
+type Ranker struct {
+	policy Policy
+	rng    *randutil.RNG
+}
+
+// NewRanker validates the policy and creates a ranker seeded
+// deterministically.
+func NewRanker(policy Policy, seed uint64) (*Ranker, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &Ranker{policy: policy, rng: randutil.New(seed)}, nil
+}
+
+// Policy returns the ranker's policy.
+func (r *Ranker) Policy() Policy { return r.policy }
+
+// Rank orders the given pages: deterministically by popularity (ties by
+// age, older first), then merged with the randomized promotion pool
+// according to the policy. Each call produces a fresh randomization, the
+// way each query's result list is independently randomized. The input is
+// not modified; the returned slice holds page IDs in presented order.
+func (r *Ranker) Rank(pages []PageStat) []int {
+	ordered := append([]PageStat(nil), pages...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Popularity != ordered[j].Popularity {
+			return ordered[i].Popularity > ordered[j].Popularity
+		}
+		if ordered[i].Age != ordered[j].Age {
+			return ordered[i].Age > ordered[j].Age // larger Age = older = first
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	var det, pool []int
+	switch r.policy.Rule {
+	case core.RuleSelective:
+		for _, p := range ordered {
+			if p.Unexplored {
+				pool = append(pool, p.ID)
+			} else {
+				det = append(det, p.ID)
+			}
+		}
+	case core.RuleUniform:
+		for _, p := range ordered {
+			if r.rng.Bernoulli(r.policy.R) {
+				pool = append(pool, p.ID)
+			} else {
+				det = append(det, p.ID)
+			}
+		}
+	default:
+		for _, p := range ordered {
+			det = append(det, p.ID)
+		}
+	}
+	return core.Merge(core.Slice(det), core.Slice(pool), r.policy.K, r.policy.R, r.rng, nil)
+}
+
+// SimOptions configures a community simulation run. The zero value uses
+// the paper's defaults (§6.1 quality distribution, two-lifetime warmup,
+// one-lifetime measurement).
+type SimOptions struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Qualities overrides the page-quality multiset (must have exactly
+	// community.Pages entries in (0,1]). Nil selects the paper's
+	// PageRank-shaped power law with top quality 0.4.
+	Qualities []float64
+	// WarmupDays and MeasureDays override the run lengths (0 = default).
+	WarmupDays  int
+	MeasureDays int
+	// SurfFraction enables §8 mixed surfing: the fraction of visits made
+	// by random surfing rather than searching (teleport c=0.15).
+	SurfFraction float64
+	// MeasureTBP tracks time-to-become-popular of the best page with an
+	// immortal, recycled probe.
+	MeasureTBP bool
+}
+
+// SimReport is the outcome of Simulate.
+type SimReport struct {
+	// QPC is normalized quality-per-click (1.0 = ranking by true
+	// quality).
+	QPC float64
+	// AbsoluteQPC is the unnormalized expected quality per click.
+	AbsoluteQPC float64
+	// TBPDays is the mean time for the best page to become popular, with
+	// TBPObservations completed measurements (0 when MeasureTBP is off
+	// or the page never became popular).
+	TBPDays         float64
+	TBPObservations int
+	// UndiscoveredPages is the mean number of zero-awareness pages.
+	UndiscoveredPages float64
+	// Days simulated in total.
+	Days int
+}
+
+// Simulate runs the §6 Web-community simulator for the given community
+// and promotion policy.
+func Simulate(comm Community, policy Policy, opts SimOptions) (*SimReport, error) {
+	qs := opts.Qualities
+	if qs == nil {
+		qs = quality.DeterministicWithTop(quality.Default(), comm.Pages)
+	}
+	so := sim.Options{
+		Seed:        opts.Seed,
+		WarmupDays:  opts.WarmupDays,
+		MeasureDays: opts.MeasureDays,
+	}
+	if opts.SurfFraction > 0 {
+		so.Mixed = &sim.MixedSurfing{X: opts.SurfFraction}
+	}
+	if opts.MeasureTBP {
+		so.TrackTBP = true
+		so.RecycleProbe = true
+		so.ImmortalProbe = true
+	}
+	s, err := sim.New(comm, policy, qs, so)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	return &SimReport{
+		QPC:               res.QPC,
+		AbsoluteQPC:       res.AbsoluteQPC,
+		TBPDays:           res.TBP.Mean,
+		TBPObservations:   res.ProbesCompleted,
+		UndiscoveredPages: res.MeanZeroAware,
+		Days:              res.Days,
+	}, nil
+}
+
+// Prediction is the analytical model's steady-state forecast (§5).
+type Prediction struct {
+	// QPC is the normalized quality-per-click the model predicts.
+	QPC float64
+	// TBPDays is the expected time for a page of quality TopQuality to
+	// become popular.
+	TBPDays float64
+	// TopQuality is the quality the TBP prediction refers to.
+	TopQuality float64
+	// UndiscoveredPages is the predicted steady-state count of
+	// zero-awareness pages.
+	UndiscoveredPages float64
+	// Converged reports whether the fixed-point solver met tolerance.
+	Converged bool
+}
+
+// Predict solves the §5 analytical model for the community and policy
+// under the paper's default quality distribution.
+func Predict(comm Community, policy Policy) (*Prediction, error) {
+	qs := quality.DeterministicWithTop(quality.Default(), comm.Pages)
+	buckets := quality.Buckets(qs, 40)
+	mdl, err := analytic.Solve(comm, policy, buckets, analytic.Options{})
+	if err != nil {
+		return nil, err
+	}
+	top := quality.DefaultMax
+	return &Prediction{
+		QPC:               mdl.QPC(),
+		TBPDays:           mdl.TBP(top),
+		TopQuality:        top,
+		UndiscoveredPages: mdl.ExpectedZeroAware(),
+		Converged:         mdl.Converged(),
+	}, nil
+}
+
+// LiveStudyConfig configures the Appendix A joke-site study.
+type LiveStudyConfig = livestudy.Config
+
+// LiveStudyResult is the study outcome (Figure 1's two bars plus the
+// rank-bias verification of A.2).
+type LiveStudyResult = livestudy.Result
+
+// RunLiveStudy executes the Appendix A study.
+func RunLiveStudy(cfg LiveStudyConfig) (*LiveStudyResult, error) {
+	return livestudy.Run(cfg)
+}
+
+// FigureOptions scales figure reproduction runs.
+type FigureOptions = experiments.Options
+
+// FigureTable is a reproduced figure: rows, chartable series and notes.
+type FigureTable = experiments.Table
+
+// ReproduceFigure regenerates one of the paper's figures by ID (fig1,
+// fig2, fig3, fig4a, fig4b, fig5, fig6, fig7a–fig7d, fig8, rec).
+func ReproduceFigure(id string, opts FigureOptions) (*FigureTable, error) {
+	r, ok := experiments.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("shuffledeck: unknown figure %q", id)
+	}
+	return r.Run(opts)
+}
+
+// Figures lists the available figure IDs in paper order.
+func Figures() []string {
+	var ids []string
+	for _, r := range experiments.All() {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}

@@ -1,0 +1,242 @@
+package shuffledeck
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecommendedPolicies(t *testing.T) {
+	p := Recommended()
+	if p.Rule != RuleSelective || p.K != 1 || p.R != 0.1 {
+		t.Fatalf("Recommended = %+v", p)
+	}
+	ps := RecommendedSafe()
+	if ps.K != 2 {
+		t.Fatalf("RecommendedSafe = %+v", ps)
+	}
+}
+
+func TestNewRankerValidates(t *testing.T) {
+	if _, err := NewRanker(Policy{Rule: RuleSelective, K: 0, R: 0.1}, 1); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	if _, err := NewRanker(Recommended(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testPages() []PageStat {
+	return []PageStat{
+		{ID: 1, Popularity: 0.9, Age: 100},
+		{ID: 2, Popularity: 0.5, Age: 90},
+		{ID: 3, Popularity: 0.5, Age: 95}, // older than 2: ranks above it
+		{ID: 4, Popularity: 0.1, Age: 50},
+		{ID: 5, Popularity: 0, Age: 2, Unexplored: true},
+		{ID: 6, Popularity: 0, Age: 1, Unexplored: true},
+	}
+}
+
+func TestRankerDeterministicOrder(t *testing.T) {
+	r, err := NewRanker(Policy{Rule: RuleNone, K: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Rank(testPages())
+	want := []int{1, 3, 2, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRankerInputNotModified(t *testing.T) {
+	pages := testPages()
+	r, _ := NewRanker(Recommended(), 2)
+	_ = r.Rank(pages)
+	if pages[0].ID != 1 || pages[5].ID != 6 {
+		t.Fatal("Rank mutated its input")
+	}
+}
+
+func TestRankerSelectivePromotes(t *testing.T) {
+	r, _ := NewRanker(Policy{Rule: RuleSelective, K: 1, R: 0.5}, 3)
+	promotedToTop3 := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		out := r.Rank(testPages())
+		if len(out) != 6 {
+			t.Fatalf("len = %d", len(out))
+		}
+		for _, id := range out[:3] {
+			if id == 5 || id == 6 {
+				promotedToTop3++
+				break
+			}
+		}
+	}
+	frac := float64(promotedToTop3) / trials
+	if frac < 0.4 {
+		t.Fatalf("unexplored pages reached top-3 only %.0f%% of the time at r=0.5", 100*frac)
+	}
+}
+
+func TestRankerProtectsTopK(t *testing.T) {
+	r, _ := NewRanker(Policy{Rule: RuleSelective, K: 2, R: 1}, 4)
+	for i := 0; i < 200; i++ {
+		out := r.Rank(testPages())
+		if out[0] != 1 {
+			t.Fatalf("k=2 did not protect the top result: %v", out)
+		}
+	}
+}
+
+func TestRankerIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r, err := NewRanker(Recommended(), seed)
+		if err != nil {
+			return false
+		}
+		out := r.Rank(testPages())
+		seen := map[int]bool{}
+		for _, id := range out {
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return len(out) == 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunityConstructors(t *testing.T) {
+	d := DefaultCommunity()
+	if d.Pages != 10000 {
+		t.Fatalf("default community %+v", d)
+	}
+	s := ScaledCommunity(1000)
+	if s.Pages != 1000 || s.Users != 100 {
+		t.Fatalf("scaled community %+v", s)
+	}
+}
+
+func testCommunity() Community {
+	c := ScaledCommunity(1000)
+	c.LifetimeDays = 100
+	return c
+}
+
+func TestSimulateBasic(t *testing.T) {
+	rep, err := Simulate(testCommunity(), Recommended(), SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QPC <= 0 || rep.QPC > 1.05 {
+		t.Fatalf("QPC = %v", rep.QPC)
+	}
+	if rep.UndiscoveredPages <= 0 {
+		t.Fatalf("undiscovered = %v", rep.UndiscoveredPages)
+	}
+	if rep.Days != 300 {
+		t.Fatalf("days = %d, want 2+1 lifetimes", rep.Days)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Community{}, Recommended(), SimOptions{}); err == nil {
+		t.Fatal("invalid community accepted")
+	}
+	if _, err := Simulate(testCommunity(), Recommended(),
+		SimOptions{Qualities: []float64{0.5}}); err == nil {
+		t.Fatal("mismatched qualities accepted")
+	}
+}
+
+func TestSimulateTBP(t *testing.T) {
+	rep, err := Simulate(testCommunity(), Policy{Rule: RuleSelective, K: 1, R: 0.3},
+		SimOptions{Seed: 6, MeasureTBP: true, MeasureDays: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TBPObservations == 0 {
+		t.Fatal("no TBP observations under aggressive promotion")
+	}
+	if rep.TBPDays <= 0 {
+		t.Fatalf("TBP = %v", rep.TBPDays)
+	}
+}
+
+func TestSimulateMixedSurfing(t *testing.T) {
+	rep, err := Simulate(testCommunity(), Recommended(),
+		SimOptions{Seed: 7, SurfFraction: 0.5, WarmupDays: 100, MeasureDays: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AbsoluteQPC <= 0 {
+		t.Fatalf("absolute QPC = %v", rep.AbsoluteQPC)
+	}
+}
+
+func TestPredict(t *testing.T) {
+	pred, err := Predict(testCommunity(), Recommended())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Converged {
+		t.Fatal("model did not converge")
+	}
+	if pred.QPC <= 0 || pred.QPC > 1 {
+		t.Fatalf("predicted QPC = %v", pred.QPC)
+	}
+	if pred.TopQuality != 0.4 {
+		t.Fatalf("top quality = %v", pred.TopQuality)
+	}
+	if pred.TBPDays <= 0 || math.IsNaN(pred.TBPDays) {
+		t.Fatalf("TBP = %v", pred.TBPDays)
+	}
+	// Promotion must predict better QPC than none.
+	none, err := Predict(testCommunity(), Policy{Rule: RuleNone, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.QPC <= none.QPC {
+		t.Fatalf("promotion QPC %v not above none %v", pred.QPC, none.QPC)
+	}
+}
+
+func TestRunLiveStudySmall(t *testing.T) {
+	res, err := RunLiveStudy(LiveStudyConfig{
+		Seed: 9, Items: 200, UsersPerGroup: 50, DurationDays: 20,
+		MeasureLastDays: 8, ItemLifetimeDays: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Control.TotalVotes == 0 || res.Treatment.TotalVotes == 0 {
+		t.Fatal("study produced no votes")
+	}
+}
+
+func TestReproduceFigure(t *testing.T) {
+	tbl, err := ReproduceFigure("fig3", FigureOptions{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "fig3" || len(tbl.Rows) == 0 {
+		t.Fatalf("table %+v", tbl)
+	}
+	if _, err := ReproduceFigure("nope", FigureOptions{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestFiguresList(t *testing.T) {
+	ids := Figures()
+	if len(ids) != 14 {
+		t.Fatalf("got %d figures: %v", len(ids), ids)
+	}
+}
