@@ -37,19 +37,32 @@ func newBenchAttention(b *testing.B, n int) *attention.Model {
 
 // benchOptions returns the experiment scale used for benchmark runs:
 // default-size communities with two replications per point, so a full
-// -bench=. sweep completes in minutes on one core.
+// -bench=. sweep completes in minutes. Parallel is left at zero, so the
+// grid fans (sweep point × seed) jobs across GOMAXPROCS workers; results
+// are bit-identical to the serial variants below at every worker count.
 func benchOptions() experiments.Options {
 	return experiments.Options{Seed: 1, Seeds: 2}
 }
 
 func runFigure(b *testing.B, id string) {
 	b.Helper()
+	runFigureOpts(b, id, benchOptions())
+}
+
+func runFigureOpts(b *testing.B, id string, opts experiments.Options) {
+	b.Helper()
+	if testing.Short() {
+		// -short turns the figure suite into a smoke run (CI executes it
+		// with -benchtime=1x): quick-scale communities, one seed.
+		opts.Quick = true
+		opts.Seeds = 1
+	}
 	r, ok := experiments.ByID(id)
 	if !ok {
 		b.Fatalf("unknown figure %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		tbl, err := r.Run(benchOptions())
+		tbl, err := r.Run(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,8 +93,19 @@ func BenchmarkFigure4aPopularityEvolution(b *testing.B) { runFigure(b, "fig4a") 
 func BenchmarkFigure4bTBP(b *testing.B) { runFigure(b, "fig4b") }
 
 // BenchmarkFigure5QPC regenerates Figure 5: quality-per-click versus
-// degree of randomization, analysis and simulation.
+// degree of randomization, analysis and simulation, on the parallel
+// grid (GOMAXPROCS workers).
 func BenchmarkFigure5QPC(b *testing.B) { runFigure(b, "fig5") }
+
+// BenchmarkFigure5QPCSerial is the single-worker baseline for
+// BenchmarkFigure5QPC: identical output tables, no parallelism. The
+// ratio of the two is the experiment engine's wall-clock speedup on
+// this machine.
+func BenchmarkFigure5QPCSerial(b *testing.B) {
+	opts := benchOptions()
+	opts.Parallel = 1
+	runFigureOpts(b, "fig5", opts)
+}
 
 // BenchmarkFigure6QPCvsKR regenerates Figure 6: the simulation sweep of
 // QPC over r and the starting point k.

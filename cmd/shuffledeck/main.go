@@ -10,17 +10,19 @@
 //
 // Flags:
 //
-//	-quick   scaled-down runs (seconds per figure, noisier)
-//	-long    include the largest sweep points (minutes)
-//	-seeds N replications per data point
-//	-seed N  base random seed
-//	-chart   render ASCII charts beneath each table
+//	-quick      scaled-down runs (seconds per figure, noisier)
+//	-long       include the largest sweep points (minutes)
+//	-seeds N    replications per data point
+//	-seed N     base random seed
+//	-parallel N simulation workers (default GOMAXPROCS; 1 = serial)
+//	-chart      render ASCII charts beneath each table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -34,15 +36,23 @@ func main() {
 	long := flag.Bool("long", false, "include the largest sweep points")
 	seeds := flag.Int("seeds", 0, "replications per data point (0 = default)")
 	seed := flag.Uint64("seed", 1, "base random seed")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"simulation workers (1 = serial; results identical at any setting)")
 	chart := flag.Bool("chart", true, "render ASCII charts")
 	flag.Usage = usage
 	flag.Parse()
 
+	if *parallel <= 0 {
+		// The grid treats <= 0 as GOMAXPROCS; resolve it here so the
+		// reported worker count matches what actually ran.
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 	opts := experiments.Options{
-		Quick: *quick,
-		Long:  *long,
-		Seeds: *seeds,
-		Seed:  *seed,
+		Quick:    *quick,
+		Long:     *long,
+		Seeds:    *seeds,
+		Seed:     *seed,
+		Parallel: *parallel,
 	}
 	args := flag.Args()
 	if len(args) == 0 {
@@ -64,6 +74,7 @@ func main() {
 			os.Exit(1)
 		}
 	case "all":
+		start := time.Now()
 		for _, r := range experiments.All() {
 			if err := runFigure(r.ID, opts, *chart); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
@@ -71,6 +82,8 @@ func main() {
 			}
 			fmt.Println()
 		}
+		fmt.Printf("[all %d figures in %v, %d workers]\n",
+			len(experiments.All()), time.Since(start).Round(time.Millisecond), opts.Parallel)
 	case "demo":
 		demo(*seed)
 	default:

@@ -7,14 +7,14 @@
 //
 // with γ = 3/2 measured from AltaVista usage logs. The package provides
 // both the expectation (VisitRate) and an exact sampler that draws rank
-// positions from the normalized distribution via inverse-CDF binary search
-// over precomputed prefix sums.
+// positions from the normalized distribution in O(1) per draw via a Walker
+// alias table built once at model construction. Prefix sums are kept for
+// the CDF-style queries (Probability, CumulativeMass, TailMass).
 package attention
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/randutil"
 )
@@ -28,6 +28,17 @@ type Model struct {
 	exponent float64
 	visits   float64   // v: total visits per unit time
 	prefix   []float64 // prefix[i] = Σ_{j=1..i} j^(−γ); prefix[0] = 0
+
+	// Walker alias table: slot i accepts itself with probability
+	// table[i].prob, otherwise redirects to table[i].alias. Sampling
+	// costs one uniform draw regardless of n; prob and alias are
+	// interleaved so each draw touches a single cache line.
+	table []aliasSlot
+}
+
+type aliasSlot struct {
+	prob  float64
+	alias int32
 }
 
 // NewModel builds the attention model for n rank positions, a per-interval
@@ -51,7 +62,48 @@ func NewModel(n int, visits, exponent float64) (*Model, error) {
 		sum += math.Pow(float64(i), -exponent)
 		m.prefix[i] = sum
 	}
+	m.buildAlias()
 	return m, nil
+}
+
+// buildAlias constructs the Walker/Vose alias table from the prefix sums.
+// Construction is O(n); every SampleRank afterwards is O(1).
+func (m *Model) buildAlias() {
+	n := m.n
+	total := m.prefix[n]
+	m.table = make([]aliasSlot, n)
+	// scaled[i] = n · p_i; partition into under- and over-full slots.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		scaled[i] = (m.prefix[i+1] - m.prefix[i]) / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		m.table[s] = aliasSlot{prob: scaled[s], alias: l}
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Whatever remains is exactly full up to rounding error.
+	for _, i := range large {
+		m.table[i] = aliasSlot{prob: 1, alias: i}
+	}
+	for _, i := range small {
+		m.table[i] = aliasSlot{prob: 1, alias: i}
+	}
 }
 
 // Default builds the paper's model: exponent 3/2.
@@ -129,12 +181,20 @@ func (m *Model) TailMass(rank int) float64 {
 }
 
 // SampleRank draws a 1-based rank position with probability proportional
-// to i^(−γ), by inverse-CDF binary search over the prefix sums.
+// to i^(−γ) in O(1): one uniform draw selects an alias-table slot with its
+// integer part and resolves the accept/redirect coin with its fractional
+// part (Vose's single-uniform variant).
 func (m *Model) SampleRank(rng *randutil.RNG) int {
-	target := rng.Float64() * m.prefix[m.n]
-	// Find the smallest i with prefix[i] > target.
-	i := sort.Search(m.n, func(k int) bool { return m.prefix[k+1] > target })
-	return i + 1
+	u := rng.Float64() * float64(m.n)
+	i := int(u)
+	if i >= m.n { // guards the u == n edge from floating-point rounding
+		i = m.n - 1
+	}
+	slot := m.table[i]
+	if u-float64(i) < slot.prob {
+		return i + 1
+	}
+	return int(slot.alias) + 1
 }
 
 // SampleRanks draws count independent rank positions into dst (reusing its

@@ -1,6 +1,7 @@
 package attention
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -205,14 +206,74 @@ func TestSinglePositionModel(t *testing.T) {
 	}
 }
 
-func BenchmarkSampleRank(b *testing.B) {
-	m, err := Default(100000, 1000)
-	if err != nil {
-		b.Fatal(err)
+// TestAliasTableMatchesExactProbabilities verifies the alias-table
+// acceptance masses reproduce the exact F2 law: summing each slot's own
+// retained mass plus the mass redirected to it must recover Probability(i).
+func TestAliasTableMatchesExactProbabilities(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 4096} {
+		m := mustModel(t, n, 1, 1.5)
+		mass := make([]float64, n)
+		for i := 0; i < n; i++ {
+			mass[i] += m.table[i].prob / float64(n)
+			mass[int(m.table[i].alias)] += (1 - m.table[i].prob) / float64(n)
+		}
+		for i := 0; i < n; i++ {
+			want := m.Probability(i + 1)
+			if math.Abs(mass[i]-want) > 1e-12 {
+				t.Fatalf("n=%d rank %d: alias mass %v, exact %v", n, i+1, mass[i], want)
+			}
+		}
 	}
-	rng := randutil.New(1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = m.SampleRank(rng)
+}
+
+// TestSampleRankChiSquare is a chi-square goodness-of-fit test of the
+// alias sampler against the exact F2 probabilities.
+func TestSampleRankChiSquare(t *testing.T) {
+	const (
+		n      = 50
+		trials = 500000
+	)
+	m := mustModel(t, n, 1, 1.5)
+	rng := randutil.New(20260728)
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		r := m.SampleRank(rng)
+		if r < 1 || r > n {
+			t.Fatalf("sampled rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	chi2 := 0.0
+	for i := 1; i <= n; i++ {
+		exp := m.Probability(i) * trials
+		if exp < 5 {
+			t.Fatalf("rank %d expected count %v too small for chi-square", i, exp)
+		}
+		d := float64(counts[i]) - exp
+		chi2 += d * d / exp
+	}
+	// 49 degrees of freedom: the 99.9% quantile is 85.35. A correct
+	// sampler fails this for one seed in a thousand; a broken one blows
+	// far past it.
+	if chi2 > 85.35 {
+		t.Fatalf("chi-square = %v over %d df, exceeds 99.9%% quantile 85.35", chi2, n-1)
+	}
+}
+
+// BenchmarkSampleRank sweeps the model size to demonstrate O(1) sampling:
+// per-draw cost must not grow from n=10^4 to n=10^6.
+func BenchmarkSampleRank(b *testing.B) {
+	for _, n := range []int{10000, 100000, 1000000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m, err := Default(n, 1000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := randutil.New(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.SampleRank(rng)
+			}
+		})
 	}
 }

@@ -119,6 +119,15 @@ func (s Slice) At(i int) int { return s[i] }
 //
 // Merge is the executable specification; Resolver is the fast path.
 func Merge(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int) []int {
+	dst, _ = MergeScratch(det, pool, k, r, rng, dst, nil)
+	return dst
+}
+
+// MergeScratch is Merge with a caller-owned scratch buffer backing the
+// pool shuffle, so steady-state callers (the Ranker, per-day simulation
+// merges) allocate nothing beyond the result itself. It returns the
+// merged list and the (possibly grown) scratch for reuse.
+func MergeScratch(det, pool Source, k int, r float64, rng *randutil.RNG, dst, scratch []int) (merged, scratchOut []int) {
 	nd, np := det.Len(), pool.Len()
 	total := nd + np
 	if cap(dst)-len(dst) < total {
@@ -126,8 +135,11 @@ func Merge(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int) []i
 		copy(grown, dst)
 		dst = grown
 	}
-	// Shuffled copy of the pool.
-	lp := make([]int, np)
+	// Shuffled copy of the pool in the scratch buffer.
+	if cap(scratch) < np {
+		scratch = make([]int, np)
+	}
+	lp := scratch[:np]
 	for i := range lp {
 		lp[i] = pool.At(i)
 	}
@@ -159,7 +171,7 @@ func Merge(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int) []i
 	for ; pi < np; pi++ {
 		dst = append(dst, lp[pi])
 	}
-	return dst
+	return dst, scratch
 }
 
 // Resolver resolves single positions of a fresh random merge without
@@ -318,4 +330,11 @@ func binomialPMF(s int, r float64) func(b int) float64 {
 // equivalent to Merge. The result is appended to dst.
 func (res *Resolver) Materialize(rng *randutil.RNG, dst []int) []int {
 	return Merge(res.det, res.pool, res.k, res.r, rng, dst)
+}
+
+// MaterializeScratch is Materialize with a caller-owned shuffle buffer,
+// for callers that materialize repeatedly (the simulator's QPC
+// snapshots). It returns the merged list and the grown scratch.
+func (res *Resolver) MaterializeScratch(rng *randutil.RNG, dst, scratch []int) (merged, scratchOut []int) {
+	return MergeScratch(res.det, res.pool, res.k, res.r, rng, dst, scratch)
 }

@@ -32,16 +32,19 @@ func Footnote1(o Options) (*Table, error) {
 		Title:   "Ablation (§5.1 footnote 1): popularity-correlated page lifetimes",
 		Columns: []string{"configuration", "normalized QPC", "undiscovered pages"},
 	}
-	for _, c := range cases {
+	specs := make([]simSpec, len(cases))
+	for i, c := range cases {
+		longevity := c.longevity
+		specs[i] = simSpec{comm: comm, pol: c.pol, qs: qs,
+			mutate: func(opts *sim.Options) { opts.PopularLongevity = longevity }}
+	}
+	grid, err := runSpecGrid(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
 		var qpcs, zs []float64
-		for i := 0; i < o.Seeds; i++ {
-			opts := simOptions(comm, o, o.Seed+uint64(i))
-			opts.PopularLongevity = c.longevity
-			s, err := sim.New(comm, c.pol, qs, opts)
-			if err != nil {
-				return nil, err
-			}
-			res := s.Run()
+		for _, res := range grid[i] {
 			qpcs = append(qpcs, res.QPC)
 			zs = append(zs, res.MeanZeroAware)
 		}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestParallelGridMatchesSerial asserts the core determinism guarantee of
+// the parallel experiment engine: regenerating a figure on the grid with
+// many workers renders a byte-identical table (rows, series, notes) to a
+// strictly serial run at the same base seed.
+func TestParallelGridMatchesSerial(t *testing.T) {
+	// fig5 exercises batchQPC plus analytic batching, fig8 exercises
+	// mutate-carrying specs, fn1 exercises raw grid results, and fig4b
+	// exercises TBP probe aggregation.
+	for _, id := range []string{"fig5", "fig8", "fn1", "fig4b"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			r, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown runner %q", id)
+			}
+			serialOpts := Options{Quick: true, Seed: 11, Seeds: 2, Parallel: 1}
+			parallelOpts := serialOpts
+			parallelOpts.Parallel = 8
+			serial, err := r.Run(serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := r.Run(parallelOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, p := serial.Render(), parallel.Render(); s != p {
+				t.Fatalf("parallel table differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+			}
+			// Chart series carry the raw float values; compare those too
+			// so formatting cannot mask a drift.
+			if len(serial.Series) != len(parallel.Series) {
+				t.Fatalf("series count: %d vs %d", len(serial.Series), len(parallel.Series))
+			}
+			for i := range serial.Series {
+				sy, py := serial.Series[i].Y, parallel.Series[i].Y
+				if len(sy) != len(py) {
+					t.Fatalf("series %d length: %d vs %d", i, len(sy), len(py))
+				}
+				for j := range sy {
+					if sy[j] != py[j] {
+						t.Fatalf("series %d point %d: serial %v != parallel %v", i, j, sy[j], py[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestProgressCallback checks the grid reports one completion per
+// simulation job and finishes at (total, total).
+func TestProgressCallback(t *testing.T) {
+	var calls, lastDone, lastTotal int
+	o := Options{Quick: true, Seed: 3, Seeds: 2, Parallel: 1,
+		Progress: func(done, total int) { calls++; lastDone, lastTotal = done, total }}
+	if _, err := Recommendation(o); err != nil {
+		t.Fatal(err)
+	}
+	// Recommendation has 4 cases × 2 seeds = 8 simulation jobs.
+	if calls != 8 || lastDone != 8 || lastTotal != 8 {
+		t.Fatalf("progress: %d calls, last (%d/%d), want 8 calls ending (8/8)", calls, lastDone, lastTotal)
+	}
+}

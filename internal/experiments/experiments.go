@@ -12,6 +12,7 @@ import (
 	"repro/internal/ascii"
 	"repro/internal/community"
 	"repro/internal/core"
+	"repro/internal/parexec"
 	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,6 +32,16 @@ type Options struct {
 	// Long enables the largest sweep points (n=10^6 pages, vu=10^6
 	// visits/day), which take minutes each.
 	Long bool
+	// Parallel is the worker count for the simulation grid: every
+	// (sweep point × replication seed) job is independent, so runners
+	// fan them out across this many goroutines. Zero selects
+	// GOMAXPROCS; 1 runs serially. Results are bit-identical at every
+	// worker count because each job derives all randomness from its own
+	// seed and aggregation happens in submission order.
+	Parallel int
+	// Progress, when non-nil, is called after each simulation job with
+	// (completed, total) counts.
+	Progress func(done, total int)
 }
 
 func (o Options) withDefaults() Options {
@@ -149,40 +160,80 @@ func simOptions(comm community.Config, o Options, seed uint64) sim.Options {
 	return sim.Options{Seed: seed, WarmupDays: warm, MeasureDays: measure}
 }
 
-// meanQPC averages normalized simulated QPC over the configured seeds.
-func meanQPC(comm community.Config, pol core.Policy, qs []float64, o Options,
-	mutate func(*sim.Options)) (stats.Summary, error) {
-	var vals []float64
-	for i := 0; i < o.Seeds; i++ {
-		opts := simOptions(comm, o, o.Seed+uint64(i))
-		if mutate != nil {
-			mutate(&opts)
-		}
-		s, err := sim.New(comm, pol, qs, opts)
-		if err != nil {
-			return stats.Summary{}, err
-		}
-		vals = append(vals, s.Run().QPC)
-	}
-	return stats.Summarize(vals), nil
+// grid converts experiment options into parexec grid options.
+func (o Options) grid() parexec.Options {
+	return parexec.Options{Workers: o.Parallel, Progress: o.Progress}
 }
 
-// meanAbsQPC averages absolute simulated QPC (Figure 8's y-axis).
-func meanAbsQPC(comm community.Config, pol core.Policy, qs []float64, o Options,
-	mutate func(*sim.Options)) (stats.Summary, error) {
-	var vals []float64
-	for i := 0; i < o.Seeds; i++ {
-		opts := simOptions(comm, o, o.Seed+uint64(i))
-		if mutate != nil {
-			mutate(&opts)
+// simSpec is one simulation data point of a figure: a community/policy
+// pair whose result is averaged over o.Seeds replications. mutate, when
+// non-nil, adjusts the per-run sim options (mixed surfing, TBP probes,
+// longevity ablations).
+type simSpec struct {
+	comm   community.Config
+	pol    core.Policy
+	qs     []float64
+	mutate func(*sim.Options)
+}
+
+// runSpecGrid fans every (spec × seed) simulation out on the parallel
+// grid and returns results[spec][seed]. Each job derives all randomness
+// from its own seed (o.Seed + replication index), so the grid is
+// bit-identical to a serial loop over the same jobs at any worker count.
+func runSpecGrid(specs []simSpec, o Options) ([][]*sim.Result, error) {
+	jobs := make([]func() (*sim.Result, error), 0, len(specs)*o.Seeds)
+	for _, sp := range specs {
+		sp := sp
+		for i := 0; i < o.Seeds; i++ {
+			opts := simOptions(sp.comm, o, o.Seed+uint64(i))
+			if sp.mutate != nil {
+				sp.mutate(&opts)
+			}
+			jobs = append(jobs, func() (*sim.Result, error) {
+				s, err := sim.New(sp.comm, sp.pol, sp.qs, opts)
+				if err != nil {
+					return nil, err
+				}
+				return s.Run(), nil
+			})
 		}
-		s, err := sim.New(comm, pol, qs, opts)
-		if err != nil {
-			return stats.Summary{}, err
-		}
-		vals = append(vals, s.Run().AbsoluteQPC)
 	}
-	return stats.Summarize(vals), nil
+	flat, err := parexec.Run(jobs, o.grid())
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*sim.Result, len(specs))
+	for i := range specs {
+		out[i] = flat[i*o.Seeds : (i+1)*o.Seeds]
+	}
+	return out, nil
+}
+
+// batchQPC runs every spec on the grid and summarizes normalized QPC per
+// spec, in input order.
+func batchQPC(specs []simSpec, o Options) ([]stats.Summary, error) {
+	return batchSummaries(specs, o, func(r *sim.Result) float64 { return r.QPC })
+}
+
+// batchAbsQPC summarizes absolute QPC per spec (Figure 8's y-axis).
+func batchAbsQPC(specs []simSpec, o Options) ([]stats.Summary, error) {
+	return batchSummaries(specs, o, func(r *sim.Result) float64 { return r.AbsoluteQPC })
+}
+
+func batchSummaries(specs []simSpec, o Options, metric func(*sim.Result) float64) ([]stats.Summary, error) {
+	grid, err := runSpecGrid(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stats.Summary, len(specs))
+	for i, rs := range grid {
+		vals := make([]float64, len(rs))
+		for j, r := range rs {
+			vals[j] = metric(r)
+		}
+		out[i] = stats.Summarize(vals)
+	}
+	return out, nil
 }
 
 // Runner is a named experiment.

@@ -9,6 +9,7 @@ import (
 	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/livestudy"
+	"repro/internal/parexec"
 	"repro/internal/quality"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -19,6 +20,20 @@ func solveAnalytic(comm community.Config, pol core.Policy) (*analytic.Model, err
 	qs := defaultQualities(comm.Pages)
 	buckets := quality.Buckets(qs, 40)
 	return analytic.Solve(comm, pol, buckets, analytic.Options{})
+}
+
+// solveAnalyticBatch solves the §5 model for several policies on the
+// parallel grid, returning models in input order.
+func solveAnalyticBatch(comm community.Config, pols []core.Policy, o Options) ([]*analytic.Model, error) {
+	jobs := make([]func() (*analytic.Model, error), len(pols))
+	for i, p := range pols {
+		p := p
+		jobs[i] = func() (*analytic.Model, error) { return solveAnalytic(comm, p) }
+	}
+	// Analytic solves are side jobs of figure runners; they share the
+	// grid configuration but not its progress stream (progress counts
+	// simulation jobs only, so `done/total` stays meaningful).
+	return parexec.Run(jobs, parexec.Options{Workers: o.Parallel})
 }
 
 // Figure1 reruns the Appendix A live study: two user groups, one with the
@@ -34,13 +49,18 @@ func Figure1(o Options) (*Table, error) {
 		cfg.MeasureLastDays = 10
 		cfg.ItemLifetimeDays = 20
 	}
-	var ctrl, treat, imps, exps []float64
+	jobs := make([]func() (*livestudy.Result, error), o.Seeds)
 	for i := 0; i < o.Seeds; i++ {
+		cfg := cfg
 		cfg.Seed = o.Seed + uint64(i)
-		res, err := livestudy.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
+		jobs[i] = func() (*livestudy.Result, error) { return livestudy.Run(cfg) }
+	}
+	results, err := parexec.Run(jobs, o.grid())
+	if err != nil {
+		return nil, err
+	}
+	var ctrl, treat, imps, exps []float64
+	for _, res := range results {
 		ctrl = append(ctrl, res.Control.FunnyRatio)
 		treat = append(treat, res.Treatment.FunnyRatio)
 		imps = append(imps, res.Improvement)
@@ -254,12 +274,10 @@ func Figure4a(o Options) (*Table, error) {
 	return t, nil
 }
 
-// tbpPoint measures simulated TBP via an immortal recycled probe.
-func tbpPoint(comm community.Config, pol core.Policy, qs []float64, o Options) (float64, int, error) {
-	var all []float64
-	done := 0
-	for i := 0; i < o.Seeds; i++ {
-		opts := simOptions(comm, o, o.Seed+uint64(i))
+// tbpSpec builds the grid spec measuring simulated TBP for one policy
+// via an immortal recycled probe.
+func tbpSpec(comm community.Config, pol core.Policy, qs []float64, o Options) simSpec {
+	return simSpec{comm: comm, pol: pol, qs: qs, mutate: func(opts *sim.Options) {
 		opts.TrackTBP = true
 		opts.RecycleProbe = true
 		opts.ImmortalProbe = true
@@ -267,20 +285,24 @@ func tbpPoint(comm community.Config, pol core.Policy, qs []float64, o Options) (
 		if o.Quick {
 			opts.MeasureDays = int(3 * comm.LifetimeDays)
 		}
-		s, err := sim.New(comm, pol, qs, opts)
-		if err != nil {
-			return 0, 0, err
-		}
-		res := s.Run()
+	}}
+}
+
+// tbpFromResults aggregates one spec's replications into a mean TBP and
+// a completed-observation count. NaN means no probe ever completed.
+func tbpFromResults(rs []*sim.Result) (float64, int) {
+	var all []float64
+	done := 0
+	for _, res := range rs {
 		if res.ProbesCompleted > 0 {
 			all = append(all, res.TBP.Mean)
 			done += res.ProbesCompleted
 		}
 	}
 	if len(all) == 0 {
-		return math.NaN(), 0, nil
+		return math.NaN(), 0
 	}
-	return stats.Summarize(all).Mean, done, nil
+	return stats.Summarize(all).Mean, done
 }
 
 // Figure4b reproduces TBP versus degree of randomization for selective
@@ -300,28 +322,31 @@ func Figure4b(o Options) (*Table, error) {
 			"uniform (analysis)", "uniform (simulation)"},
 		XLabel: "r",
 	}
-	var xs, selA, selS, uniA, uniS []float64
+	// The 2·len(rs) analytic solves run as one parallel batch, then
+	// every (r × rule × seed) probe simulation fans out in a second
+	// grid submission.
+	var pols []core.Policy
+	var specs []simSpec
 	for _, r := range rs {
 		selPol := core.Policy{Rule: core.RuleSelective, K: 1, R: r}
 		uniPol := core.Policy{Rule: core.RuleUniform, K: 1, R: r}
-		mdlSel, err := solveAnalytic(comm, selPol)
-		if err != nil {
-			return nil, err
-		}
-		mdlUni, err := solveAnalytic(comm, uniPol)
-		if err != nil {
-			return nil, err
-		}
+		pols = append(pols, selPol, uniPol)
+		specs = append(specs, tbpSpec(comm, selPol, qs, o), tbpSpec(comm, uniPol, qs, o))
+	}
+	mdls, err := solveAnalyticBatch(comm, pols, o)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := runSpecGrid(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	var xs, selA, selS, uniA, uniS []float64
+	for ri, r := range rs {
 		q := quality.DefaultMax
-		aSel, aUni := mdlSel.TBP(q), mdlUni.TBP(q)
-		sSel, nSel, err := tbpPoint(comm, selPol, qs, o)
-		if err != nil {
-			return nil, err
-		}
-		sUni, nUni, err := tbpPoint(comm, uniPol, qs, o)
-		if err != nil {
-			return nil, err
-		}
+		aSel, aUni := mdls[2*ri].TBP(q), mdls[2*ri+1].TBP(q)
+		sSel, nSel := tbpFromResults(grid[2*ri])
+		sUni, nUni := tbpFromResults(grid[2*ri+1])
 		fmtSim := func(v float64, n int) string {
 			if math.IsNaN(v) {
 				return "no completion"
@@ -377,32 +402,46 @@ func Figure5(o Options) (*Table, error) {
 			"uniform (analysis)", "uniform (simulation)"},
 		XLabel: "r",
 	}
-	var xs, selA, selS, uniA, uniS []float64
-	for _, r := range rs {
-		var selPol, uniPol core.Policy
+	// The analytic solves run as one parallel batch, then a single grid
+	// submission covers every (r × rule × seed) simulation. Policies are
+	// deduplicated (at r=0 selective and uniform collapse to RuleNone),
+	// so no worker slot repeats an identical job.
+	var pols []core.Policy
+	polIdx := map[core.Policy]int{}
+	idxOf := func(p core.Policy) int {
+		if i, ok := polIdx[p]; ok {
+			return i
+		}
+		polIdx[p] = len(pols)
+		pols = append(pols, p)
+		return polIdx[p]
+	}
+	cells := make([][2]int, len(rs)) // per r: indexes of (selective, uniform)
+	for ri, r := range rs {
+		selPol := core.Policy{Rule: core.RuleSelective, K: 1, R: r}
+		uniPol := core.Policy{Rule: core.RuleUniform, K: 1, R: r}
 		if r == 0 {
 			selPol = core.Policy{Rule: core.RuleNone, K: 1}
 			uniPol = selPol
-		} else {
-			selPol = core.Policy{Rule: core.RuleSelective, K: 1, R: r}
-			uniPol = core.Policy{Rule: core.RuleUniform, K: 1, R: r}
 		}
-		mdlSel, err := solveAnalytic(comm, selPol)
-		if err != nil {
-			return nil, err
-		}
-		mdlUni, err := solveAnalytic(comm, uniPol)
-		if err != nil {
-			return nil, err
-		}
-		simSel, err := meanQPC(comm, selPol, qs, o, nil)
-		if err != nil {
-			return nil, err
-		}
-		simUni, err := meanQPC(comm, uniPol, qs, o, nil)
-		if err != nil {
-			return nil, err
-		}
+		cells[ri] = [2]int{idxOf(selPol), idxOf(uniPol)}
+	}
+	mdls, err := solveAnalyticBatch(comm, pols, o)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]simSpec, len(pols))
+	for i, p := range pols {
+		specs[i] = simSpec{comm: comm, pol: p, qs: qs}
+	}
+	sums, err := batchQPC(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	var xs, selA, selS, uniA, uniS []float64
+	for ri, r := range rs {
+		mdlSel, mdlUni := mdls[cells[ri][0]], mdls[cells[ri][1]]
+		simSel, simUni := sums[cells[ri][0]], sums[cells[ri][1]]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.2f", r),
 			fmt.Sprintf("%.3f", mdlSel.QPC()),
@@ -451,17 +490,36 @@ func Figure6(o Options) (*Table, error) {
 	for i, k := range ks {
 		series[i].Name = fmt.Sprintf("k=%d", k)
 	}
-	for _, r := range rs {
-		row := []string{fmt.Sprintf("%.1f", r)}
+	// The full r × k product goes to the grid as one submission, with
+	// duplicate policies collapsed (every k shares the single RuleNone
+	// run at r=0).
+	var specs []simSpec
+	polIdx := map[core.Policy]int{}
+	cells := make([][]int, len(rs))
+	for ri, r := range rs {
+		cells[ri] = make([]int, len(ks))
 		for i, k := range ks {
 			pol := core.Policy{Rule: core.RuleSelective, K: k, R: r}
 			if r == 0 {
 				pol = core.Policy{Rule: core.RuleNone, K: 1}
 			}
-			s, err := meanQPC(comm, pol, qs, o, nil)
-			if err != nil {
-				return nil, err
+			idx, ok := polIdx[pol]
+			if !ok {
+				idx = len(specs)
+				polIdx[pol] = idx
+				specs = append(specs, simSpec{comm: comm, pol: pol, qs: qs})
 			}
+			cells[ri][i] = idx
+		}
+	}
+	sums, err := batchQPC(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	for ri, r := range rs {
+		row := []string{fmt.Sprintf("%.1f", r)}
+		for i := range ks {
+			s := sums[cells[ri][i]]
 			row = append(row, fmt.Sprintf("%.3f", s.Mean))
 			series[i].X = append(series[i].X, r)
 			series[i].Y = append(series[i].Y, s.Mean)

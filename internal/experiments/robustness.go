@@ -46,14 +46,23 @@ func sweep(id, title, xLabel string, xs []float64, comms []community.Config,
 	for i, p := range pols {
 		series[i].Name = p.name
 	}
-	for xi, comm := range comms {
+	// All (community × policy × seed) runs go to the grid at once; the
+	// quality multiset is shared read-only across each community's jobs.
+	var specs []simSpec
+	for _, comm := range comms {
 		qs := defaultQualities(comm.Pages)
+		for _, p := range pols {
+			specs = append(specs, simSpec{comm: comm, pol: p.pol, qs: qs})
+		}
+	}
+	sums, err := batchQPC(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	for xi := range comms {
 		row := []string{formatX(xs[xi])}
-		for pi, p := range pols {
-			s, err := meanQPC(comm, p.pol, qs, o, nil)
-			if err != nil {
-				return nil, err
-			}
+		for pi := range pols {
+			s := sums[xi*len(pols)+pi]
 			row = append(row, fmt.Sprintf("%.3f", s.Mean))
 			series[pi].X = append(series[pi].X, xs[xi])
 			series[pi].Y = append(series[pi].Y, s.Mean)
@@ -212,16 +221,24 @@ func Figure8(o Options) (*Table, error) {
 	for i, p := range pols {
 		series[i].Name = p.name
 	}
+	var specs []simSpec
 	for _, x := range fractions {
+		x := x
+		for _, p := range pols {
+			specs = append(specs, simSpec{comm: comm, pol: p.pol, qs: qs,
+				mutate: func(opts *sim.Options) {
+					opts.Mixed = &sim.MixedSurfing{X: x, C: 0.15}
+				}})
+		}
+	}
+	sums, err := batchAbsQPC(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	for xi, x := range fractions {
 		row := []string{fmt.Sprintf("%.1f", x)}
-		for pi, p := range pols {
-			mutate := func(opts *sim.Options) {
-				opts.Mixed = &sim.MixedSurfing{X: x, C: 0.15}
-			}
-			s, err := meanAbsQPC(comm, p.pol, qs, o, mutate)
-			if err != nil {
-				return nil, err
-			}
+		for pi := range pols {
+			s := sums[xi*len(pols)+pi]
 			row = append(row, fmt.Sprintf("%.4f", s.Mean))
 			series[pi].X = append(series[pi].X, x)
 			series[pi].Y = append(series[pi].Y, s.Mean)
@@ -257,11 +274,16 @@ func Recommendation(o Options) (*Table, error) {
 		Title:   "Recommendation check (§6.4): QPC of the recommended recipe",
 		Columns: []string{"ranking method", "normalized QPC", "95% CI"},
 	}
-	for _, c := range cases {
-		s, err := meanQPC(comm, c.pol, qs, o, nil)
-		if err != nil {
-			return nil, err
-		}
+	specs := make([]simSpec, len(cases))
+	for i, c := range cases {
+		specs[i] = simSpec{comm: comm, pol: c.pol, qs: qs}
+	}
+	sums, err := batchQPC(specs, o)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cases {
+		s := sums[i]
 		t.Rows = append(t.Rows, []string{
 			c.name, fmt.Sprintf("%.3f", s.Mean), fmt.Sprintf("±%.3f", s.CI95()),
 		})

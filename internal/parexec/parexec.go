@@ -1,0 +1,117 @@
+// Package parexec is a deterministic parallel execution engine for the
+// experiment layer: a worker-pool "run grid" that fans independent jobs
+// out across GOMAXPROCS goroutines and collects their results in
+// submission order.
+//
+// Determinism is the design constraint. Every job must be a pure function
+// of its inputs (each simulation run owns an RNG derived from its own
+// seed, so runs never share mutable state), results land in a slice
+// indexed by job position, and aggregation happens in submission order —
+// so a parallel grid is bit-identical to a serial loop over the same jobs
+// regardless of worker count or scheduling. Workers == 1 short-circuits
+// to an inline loop with no goroutines at all, which doubles as the
+// serial reference the determinism tests compare against.
+package parexec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes a grid run.
+type Options struct {
+	// Workers is the number of concurrent goroutines. Values <= 0 select
+	// runtime.GOMAXPROCS(0). Workers == 1 runs jobs inline, serially, in
+	// submission order.
+	Workers int
+	// Progress, when non-nil, is called after each job finishes with the
+	// number of completed jobs and the total. Calls are serialized but
+	// completion order is nondeterministic under parallelism; only the
+	// final (total, total) call is guaranteed to be last.
+	Progress func(done, total int)
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// Run executes every job on the worker pool and returns their results in
+// submission order. The first error (by job index) is returned after all
+// in-flight jobs drain; remaining queued jobs are skipped once an error
+// is observed.
+func Run[T any](jobs []func() (T, error), opts Options) ([]T, error) {
+	total := len(jobs)
+	results := make([]T, total)
+	if total == 0 {
+		return results, nil
+	}
+	workers := opts.workers()
+	if workers > total {
+		workers = total
+	}
+
+	if workers == 1 {
+		for i, job := range jobs {
+			r, err := job()
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+			if opts.Progress != nil {
+				opts.Progress(i+1, total)
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		next     atomic.Int64 // next job index to claim
+		failed   atomic.Bool
+		mu       sync.Mutex // guards firstErr, the progress counter, and Progress calls
+		done     int        // completed jobs, for progress (under mu)
+		firstErr error
+		errIdx   = total
+		wg       sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || failed.Load() {
+					return
+				}
+				r, err := jobs[i]()
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				results[i] = r
+				if opts.Progress != nil {
+					// Count and report under one lock so done values
+					// reach the callback in increasing order and
+					// (total, total) is always the final call.
+					mu.Lock()
+					done++
+					opts.Progress(done, total)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

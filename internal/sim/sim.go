@@ -195,6 +195,7 @@ type Simulator struct {
 	probesStart int
 	probesDone  int
 	mergeBuf    []int
+	shuffleBuf  []int
 	rankedBuf   []rankengine.Entry
 	detBuf      []int
 	poolBuf     []int
@@ -315,17 +316,19 @@ func (w treapWindow) At(i int) int {
 	return e.ID
 }
 
-// presenter resolves positions of today's presented list.
+// presenter resolves positions of today's presented list. materialize
+// threads a caller-owned shuffle scratch so snapshots allocate nothing
+// in steady state.
 type presenter interface {
 	pageAt(pos int, rng *randutil.RNG) int
-	materialize(rng *randutil.RNG, dst []int) []int
+	materialize(rng *randutil.RNG, dst, scratch []int) (merged, scratchOut []int)
 }
 
 type resolverPresenter struct{ res *core.Resolver }
 
 func (p resolverPresenter) pageAt(pos int, rng *randutil.RNG) int { return p.res.PageAt(pos, rng) }
-func (p resolverPresenter) materialize(rng *randutil.RNG, dst []int) []int {
-	return p.res.Materialize(rng, dst)
+func (p resolverPresenter) materialize(rng *randutil.RNG, dst, scratch []int) (merged, scratchOut []int) {
+	return p.res.MaterializeScratch(rng, dst, scratch)
 }
 
 // buildPresenter constructs the day's position resolver from the frozen
@@ -550,7 +553,7 @@ func (s *Simulator) stochasticRound(x float64) int {
 // Σ F2(i)·Q(L[i]) / v for the search channel, blended with the
 // popularity-proportional and teleport channels under mixed surfing.
 func (s *Simulator) takeSnapshot(pres presenter) {
-	s.mergeBuf = pres.materialize(s.snapRng, s.mergeBuf[:0])
+	s.mergeBuf, s.shuffleBuf = pres.materialize(s.snapRng, s.mergeBuf[:0], s.shuffleBuf)
 	num := 0.0
 	for i, idx := range s.mergeBuf {
 		num += s.att.VisitRate(i+1) * s.quality[idx]

@@ -92,6 +92,14 @@ type PageStat struct {
 type Ranker struct {
 	policy Policy
 	rng    *randutil.RNG
+
+	// Reusable scratch, so steady-state Rank calls allocate only the
+	// returned slice: the sorted working copy, the det/pool split, and
+	// the merge's pool-shuffle buffer.
+	ordered []PageStat
+	det     []int
+	pool    []int
+	shuffle []int
 }
 
 // NewRanker validates the policy and creates a ranker seeded
@@ -110,9 +118,19 @@ func (r *Ranker) Policy() Policy { return r.policy }
 // age, older first), then merged with the randomized promotion pool
 // according to the policy. Each call produces a fresh randomization, the
 // way each query's result list is independently randomized. The input is
-// not modified; the returned slice holds page IDs in presented order.
+// not modified; the returned slice holds page IDs in presented order and
+// is the call's only allocation in steady state (intermediates live in
+// reusable scratch on the Ranker).
 func (r *Ranker) Rank(pages []PageStat) []int {
-	ordered := append([]PageStat(nil), pages...)
+	return r.rankInto(pages, make([]int, 0, len(pages)))
+}
+
+// rankInto appends the ranked page IDs to dst, reusing the Ranker's
+// scratch buffers for the sorted copy, the det/pool split and the merge
+// shuffle.
+func (r *Ranker) rankInto(pages []PageStat, dst []int) []int {
+	ordered := append(r.ordered[:0], pages...)
+	r.ordered = ordered
 	sort.SliceStable(ordered, func(i, j int) bool {
 		if ordered[i].Popularity != ordered[j].Popularity {
 			return ordered[i].Popularity > ordered[j].Popularity
@@ -122,7 +140,7 @@ func (r *Ranker) Rank(pages []PageStat) []int {
 		}
 		return ordered[i].ID < ordered[j].ID
 	})
-	var det, pool []int
+	det, pool := r.det[:0], r.pool[:0]
 	switch r.policy.Rule {
 	case core.RuleSelective:
 		for _, p := range ordered {
@@ -145,7 +163,10 @@ func (r *Ranker) Rank(pages []PageStat) []int {
 			det = append(det, p.ID)
 		}
 	}
-	return core.Merge(core.Slice(det), core.Slice(pool), r.policy.K, r.policy.R, r.rng, nil)
+	r.det, r.pool = det, pool
+	dst, r.shuffle = core.MergeScratch(core.Slice(det), core.Slice(pool),
+		r.policy.K, r.policy.R, r.rng, dst, r.shuffle)
+	return dst
 }
 
 // SimOptions configures a community simulation run. The zero value uses
