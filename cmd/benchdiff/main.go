@@ -1,0 +1,238 @@
+// Command benchdiff turns `go test -bench` output into a JSON benchmark
+// record and gates CI on regressions against a committed baseline.
+//
+// Usage:
+//
+//	go test -run='^$' -bench='...' -benchtime=1x -benchmem ./... | benchdiff -out BENCH_ci.json -baseline BENCH_baseline.json
+//	go test -run='^$' -bench='...' -benchtime=1x -benchmem ./... | benchdiff -out BENCH_baseline.json
+//
+// Flags:
+//
+//	-in        bench output file (default: stdin)
+//	-out       JSON record to write (required)
+//	-baseline  baseline JSON to compare against; omit to only record
+//	-tol       fractional regression tolerance on ns/op and allocs/op (default 0.25)
+//	-floor-ns  absolute ns/op slack added to the tolerance band (default 50000)
+//
+// The gate fails (exit 1) when a benchmark present in the baseline is
+// missing from the current run, or when its ns/op or allocs/op exceeds
+// baseline·(1+tol) — plus floor-ns of absolute slack for ns/op. The
+// floor absorbs the scheduler/timer noise of single-iteration
+// (-benchtime=1x) measurements, which is roughly constant (tens of µs)
+// rather than proportional: below ~200µs a 1x ns/op reading is mostly
+// noise, so such benchmarks are effectively gated on allocs/op — which
+// -benchtime=1x measures exactly — while ms-scale benchmarks still get a
+// meaningful 25% ns/op gate. Feed the output of several bench runs (CI
+// uses three) into one invocation: a benchmark appearing multiple times
+// keeps its fastest run, the standard noise-robust statistic. New
+// benchmarks absent from the baseline are recorded but not judged.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark's measurements.
+type Record struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the JSON document benchdiff reads and writes.
+type File struct {
+	Go         string            `json:"go"`
+	Benchmarks map[string]Record `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON record to write (required)")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	tol := flag.Float64("tol", 0.25, "fractional regression tolerance")
+	floorNs := flag.Float64("floor-ns", 50000, "absolute ns/op slack")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tol < 0 || *floorNs < 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -tol and -floor-ns must be >= 0")
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	benches, err := Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+	doc := File{Go: runtime.Version(), Benchmarks: benches}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(benches), *out)
+
+	if *baseline == "" {
+		return
+	}
+	baseBuf, err := os.ReadFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var base File
+	if err := json.Unmarshal(baseBuf, &base); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baseline, err))
+	}
+	failures := Compare(base.Benchmarks, benches, *tol, *floorNs)
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		cur, ok := benches[name]
+		if !ok {
+			fmt.Printf("  %-40s MISSING (baseline %.0f ns/op)\n", name, b.NsPerOp)
+			continue
+		}
+		fmt.Printf("  %-40s ns/op %10.0f -> %10.0f (%+6.1f%%)  allocs/op %6.0f -> %6.0f\n",
+			name, b.NsPerOp, cur.NsPerOp, pct(b.NsPerOp, cur.NsPerOp),
+			b.AllocsPerOp, cur.AllocsPerOp)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%% tolerance:\n", len(failures), *tol*100)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *tol*100)
+}
+
+func pct(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkServeRank-8   1   52917 ns/op   1200 B/op   11 allocs/op   18900 qps
+//
+// Name and iteration count first, then unit pairs in any order.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// Parse extracts benchmark records from `go test -bench` output. The
+// GOMAXPROCS suffix (-8) is stripped so records compare across machines
+// with different core counts. A benchmark appearing multiple times (CI
+// concatenates several runs) keeps its fastest measurement by ns/op.
+func Parse(r io.Reader) (map[string]Record, error) {
+	out := map[string]Record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("odd measurement fields in %q", sc.Text())
+		}
+		rec := Record{}
+		for i := 0; i < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				rec.NsPerOp = val
+			case "B/op":
+				rec.BytesPerOp = val
+			case "allocs/op":
+				rec.AllocsPerOp = val
+			default:
+				if rec.Metrics == nil {
+					rec.Metrics = map[string]float64{}
+				}
+				rec.Metrics[unit] = val
+			}
+		}
+		if prev, ok := out[name]; !ok || rec.NsPerOp < prev.NsPerOp {
+			out[name] = rec
+		}
+	}
+	return out, sc.Err()
+}
+
+// Compare returns one message per gate violation: a baseline benchmark
+// missing from the current run, or a ns/op or allocs/op regression
+// beyond base·(1+tol) (ns/op additionally gets floorNs absolute slack).
+func Compare(base, cur map[string]Record, tol, floorNs float64) []string {
+	var failures []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if limit := b.NsPerOp*(1+tol) + floorNs; c.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f exceeds %.0f (baseline %.0f)",
+				name, c.NsPerOp, limit, b.NsPerOp))
+		}
+		// Allocation counts are machine-independent, so no absolute slack;
+		// +0.5 forgives sub-alloc rounding only.
+		if limit := b.AllocsPerOp*(1+tol) + 0.5; c.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.1f exceeds %.1f (baseline %.1f)",
+				name, c.AllocsPerOp, limit, b.AllocsPerOp))
+		}
+	}
+	return failures
+}

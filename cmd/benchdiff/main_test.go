@@ -1,0 +1,109 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/serve
+cpu: AMD EPYC 7B13
+BenchmarkServeRank-8     	       1	     52917 ns/op	       18900 qps	    1200 B/op	      11 allocs/op
+BenchmarkServeRankHTTP-8 	       1	     98000 ns/op	    9100 B/op	      64 allocs/op
+BenchmarkSampleRank/n=100000-8         	       1	         6.400 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/serve	1.2s
+BenchmarkRankerRank    	       1	   6600000 ns/op	   84049 B/op	       6 allocs/op
+BenchmarkRankerRank    	       1	   5500000 ns/op	   84049 B/op	       6 allocs/op
+BenchmarkRankerRank    	       1	   7100000 ns/op	   84049 B/op	       6 allocs/op
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	sr, ok := got["BenchmarkServeRank"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if sr.NsPerOp != 52917 || sr.BytesPerOp != 1200 || sr.AllocsPerOp != 11 {
+		t.Fatalf("BenchmarkServeRank = %+v", sr)
+	}
+	if sr.Metrics["qps"] != 18900 {
+		t.Fatalf("custom metric lost: %+v", sr)
+	}
+	sub := got["BenchmarkSampleRank/n=100000"]
+	if sub.NsPerOp != 6.4 {
+		t.Fatalf("sub-benchmark = %+v", sub)
+	}
+	// Repeated runs keep the fastest measurement.
+	if rr := got["BenchmarkRankerRank"]; rr.NsPerOp != 5_500_000 {
+		t.Fatalf("best-of-N not kept: %+v", rr)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8  1  12 ns/op  7\n")); err == nil {
+		t.Fatal("odd field count accepted")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX-8  1  twelve ns/op\n")); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]Record{
+		"BenchmarkServeRank":  {NsPerOp: 50000, AllocsPerOp: 10},
+		"BenchmarkRankerRank": {NsPerOp: 6_600_000, AllocsPerOp: 6},
+		"BenchmarkSampleRank": {NsPerOp: 6, AllocsPerOp: 0},
+	}
+
+	// Identical run: clean.
+	if fails := Compare(base, base, 0.25, 200); len(fails) != 0 {
+		t.Fatalf("self-compare failed: %v", fails)
+	}
+
+	// Within tolerance: +20% ns, same allocs.
+	cur := map[string]Record{
+		"BenchmarkServeRank":  {NsPerOp: 60000, AllocsPerOp: 10},
+		"BenchmarkRankerRank": {NsPerOp: 7_000_000, AllocsPerOp: 6},
+		"BenchmarkSampleRank": {NsPerOp: 150, AllocsPerOp: 0}, // timer noise under floor-ns
+	}
+	if fails := Compare(base, cur, 0.25, 200); len(fails) != 0 {
+		t.Fatalf("within-tolerance run failed: %v", fails)
+	}
+
+	// ns/op regression beyond 25%.
+	cur["BenchmarkServeRank"] = Record{NsPerOp: 70000, AllocsPerOp: 10}
+	fails := Compare(base, cur, 0.25, 200)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkServeRank: ns/op") {
+		t.Fatalf("ns regression not caught: %v", fails)
+	}
+
+	// allocs/op regression is judged without the ns floor.
+	cur["BenchmarkServeRank"] = Record{NsPerOp: 50000, AllocsPerOp: 14}
+	fails = Compare(base, cur, 0.25, 200)
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") {
+		t.Fatalf("alloc regression not caught: %v", fails)
+	}
+
+	// A deleted benchmark fails the gate (no silent erosion).
+	delete(cur, "BenchmarkRankerRank")
+	cur["BenchmarkServeRank"] = Record{NsPerOp: 50000, AllocsPerOp: 10}
+	fails = Compare(base, cur, 0.25, 200)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("missing benchmark not caught: %v", fails)
+	}
+
+	// New benchmarks in the current run are not judged.
+	cur["BenchmarkRankerRank"] = base["BenchmarkRankerRank"]
+	cur["BenchmarkBrandNew"] = Record{NsPerOp: 1e9, AllocsPerOp: 1e6}
+	if fails := Compare(base, cur, 0.25, 200); len(fails) != 0 {
+		t.Fatalf("new benchmark judged: %v", fails)
+	}
+}

@@ -42,6 +42,13 @@ func main() {
 	flag.Usage = usage
 	flag.Parse()
 
+	// Validate before running anything: a negative -seeds used to slip
+	// through and silently produce empty sweeps.
+	if *seeds < 0 {
+		fmt.Fprintf(os.Stderr, "shuffledeck: -seeds must be >= 0 (0 = figure default), got %d\n\n", *seeds)
+		usage()
+		os.Exit(2)
+	}
 	if *parallel <= 0 {
 		// The grid treats <= 0 as GOMAXPROCS; resolve it here so the
 		// reported worker count matches what actually ran.

@@ -1,0 +1,166 @@
+// Command shuffledeckd runs the online ranking service: a live sharded
+// corpus served over HTTP/JSON, with feedback-driven rank promotion.
+//
+// Endpoints:
+//
+//	POST /rank      {"query":"...","n":10}             → randomized result list
+//	POST /feedback  {"events":[{"page":7,"slot":2,"impressions":1,"clicks":1}]}
+//	GET  /stats     corpus accounting + per-slot impression/click telemetry
+//	GET  /healthz   liveness probe
+//
+// Flags:
+//
+//	-addr        listen address (default :8080)
+//	-shards      popularity shards (default 4)
+//	-topk        per-shard deterministic top-list length (default 128)
+//	-poolcap     per-shard zero-awareness sample per epoch (default 128)
+//	-rule        promotion rule: selective, uniform or none (default selective)
+//	-k           protected prefix length k (default 1)
+//	-r           degree of randomization r (default 0.1)
+//	-seed        base random seed (default 1)
+//	-pages       synthetic bootstrap corpus size, 0 = start empty (default 1000)
+//	-fresh       fraction of bootstrap pages starting at zero awareness (default 0.1)
+//
+// The synthetic bootstrap spreads pages over a handful of topics with a
+// Zipf-shaped initial popularity, so the service is immediately
+// queryable; a fraction starts with zero awareness and can only surface
+// through randomized promotion plus clicks.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 4, "popularity shards")
+	topk := flag.Int("topk", 128, "per-shard deterministic top-list length")
+	poolcap := flag.Int("poolcap", 128, "per-shard zero-awareness sample per epoch")
+	rule := flag.String("rule", "selective", "promotion rule: selective, uniform or none")
+	k := flag.Int("k", 1, "protected prefix length k")
+	r := flag.Float64("r", 0.1, "degree of randomization r")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	pages := flag.Int("pages", 1000, "synthetic bootstrap corpus size (0 = start empty)")
+	fresh := flag.Float64("fresh", 0.1, "fraction of bootstrap pages starting at zero awareness")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "shuffledeckd: "+format+"\n\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards <= 0 {
+		fail("-shards must be >= 1, got %d", *shards)
+	}
+	if *topk <= 0 {
+		fail("-topk must be >= 1, got %d", *topk)
+	}
+	if *poolcap <= 0 {
+		fail("-poolcap must be >= 1, got %d", *poolcap)
+	}
+	if *pages < 0 {
+		fail("-pages must be >= 0, got %d", *pages)
+	}
+	if *fresh < 0 || *fresh > 1 {
+		fail("-fresh must be in [0,1], got %v", *fresh)
+	}
+	policy := core.Policy{K: *k, R: *r}
+	switch *rule {
+	case "selective":
+		policy.Rule = core.RuleSelective
+	case "uniform":
+		policy.Rule = core.RuleUniform
+	case "none":
+		policy.Rule = core.RuleNone
+	default:
+		fail("-rule must be selective, uniform or none, got %q", *rule)
+	}
+	if err := policy.Validate(); err != nil {
+		fail("%v", err)
+	}
+
+	corpus, err := serve.NewCorpus(serve.Config{
+		Shards:  *shards,
+		TopK:    *topk,
+		PoolCap: *poolcap,
+		Policy:  policy,
+		Seed:    *seed,
+	})
+	if err != nil {
+		log.Fatalf("shuffledeckd: %v", err)
+	}
+	defer corpus.Close()
+	if *pages > 0 {
+		if err := Bootstrap(corpus, *pages, *fresh); err != nil {
+			log.Fatalf("shuffledeckd: bootstrap: %v", err)
+		}
+		corpus.Sync()
+		st := corpus.Stats()
+		log.Printf("bootstrap: %d pages (%d aware, %d zero-awareness) across %d shards",
+			st.Pages, st.Aware, st.ZeroAware, *shards)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(corpus)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		// No timeout: Shutdown must wait for every in-flight handler —
+		// a /feedback handler blocked on shard backpressure would
+		// otherwise race the deferred corpus.Close (send on closed
+		// channel).
+		_ = srv.Shutdown(context.Background())
+	}()
+	log.Printf("shuffledeckd: policy %v, listening on %s", policy, *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("shuffledeckd: %v", err)
+	}
+	<-shutdownDone
+	log.Printf("shuffledeckd: shut down")
+}
+
+// topics are the synthetic bootstrap's query vocabulary.
+var topics = []string{
+	"go concurrency patterns",
+	"search ranking randomization",
+	"distributed systems consensus",
+	"database index structures",
+	"web crawler politeness",
+	"information retrieval evaluation",
+	"page quality popularity bias",
+	"http api design",
+}
+
+// Bootstrap fills the corpus with n synthetic pages: topics round-robin,
+// Zipf-shaped initial popularity for the established pages, and exactly
+// round(fresh·n) pages left at zero awareness, spread evenly over the id
+// range: page i is fresh when the rounded cumulative count
+// round(fresh·(i+1)) crosses an integer.
+func Bootstrap(c *serve.Corpus, n int, fresh float64) error {
+	for i := 0; i < n; i++ {
+		topic := topics[i%len(topics)]
+		text := fmt.Sprintf("%s page%d", topic, i)
+		pop := 0.0
+		if math.Round(fresh*float64(i+1)) <= math.Round(fresh*float64(i)) {
+			// Zipf-shaped establishment: earlier pages are entrenched.
+			pop = float64(n) / float64(i+1)
+		}
+		if err := c.Add(i, text, pop); err != nil {
+			return err
+		}
+	}
+	return nil
+}

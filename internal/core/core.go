@@ -104,7 +104,10 @@ type Source interface {
 	At(i int) int
 }
 
-// Slice adapts a []int to a Source.
+// Slice adapts a []int to a Source. Converting a Slice value to the
+// Source interface boxes the slice header (one allocation); hot paths
+// that merge per request pass *Slice instead — a pointer boxes for free
+// and reads the buffer's current header on every call.
 type Slice []int
 
 // Len returns the number of pages.
@@ -128,6 +131,16 @@ func Merge(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int) []i
 // merges) allocate nothing beyond the result itself. It returns the
 // merged list and the (possibly grown) scratch for reuse.
 func MergeScratch(det, pool Source, k int, r float64, rng *randutil.RNG, dst, scratch []int) (merged, scratchOut []int) {
+	dst, _, scratch = mergeImpl(det, pool, k, r, rng, dst, nil, scratch, false)
+	return dst, scratch
+}
+
+// mergeImpl is the single implementation behind Merge, MergeScratch and
+// Scratch.MergeTagged. When wantTags is true it appends, parallel to each
+// dst append, whether the slot was filled from the promotion pool. The
+// sequence of RNG draws is identical either way, so tagged and untagged
+// merges of the same inputs produce the same list.
+func mergeImpl(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int, tags []bool, scratch []int, wantTags bool) ([]int, []bool, []int) {
 	nd, np := det.Len(), pool.Len()
 	total := nd + np
 	if cap(dst)-len(dst) < total {
@@ -143,7 +156,7 @@ func MergeScratch(det, pool Source, k int, r float64, rng *randutil.RNG, dst, sc
 	for i := range lp {
 		lp[i] = pool.At(i)
 	}
-	rng.Shuffle(np, func(i, j int) { lp[i], lp[j] = lp[j], lp[i] })
+	rng.ShuffleInts(lp)
 
 	// Step 1: top k−1 of Ld.
 	prefix := k - 1
@@ -153,6 +166,9 @@ func MergeScratch(det, pool Source, k int, r float64, rng *randutil.RNG, dst, sc
 	di := 0
 	for ; di < prefix; di++ {
 		dst = append(dst, det.At(di))
+		if wantTags {
+			tags = append(tags, false)
+		}
 	}
 	// Step 2: biased merge of the remainder.
 	pi := 0
@@ -160,18 +176,58 @@ func MergeScratch(det, pool Source, k int, r float64, rng *randutil.RNG, dst, sc
 		if rng.Float64() < r {
 			dst = append(dst, lp[pi])
 			pi++
+			if wantTags {
+				tags = append(tags, true)
+			}
 		} else {
 			dst = append(dst, det.At(di))
 			di++
+			if wantTags {
+				tags = append(tags, false)
+			}
 		}
 	}
 	for ; di < nd; di++ {
 		dst = append(dst, det.At(di))
+		if wantTags {
+			tags = append(tags, false)
+		}
 	}
 	for ; pi < np; pi++ {
 		dst = append(dst, lp[pi])
+		if wantTags {
+			tags = append(tags, true)
+		}
 	}
-	return dst, scratch
+	return dst, tags, scratch
+}
+
+// Scratch bundles the reusable buffers of a repeated merge — the result
+// list, the pool-shuffle buffer and the optional provenance tags — for
+// callers that merge on a hot path (the serving layer runs one merge per
+// /rank request). The zero value is ready to use; a Scratch is not safe
+// for concurrent use, so pool or per-goroutine them.
+type Scratch struct {
+	dst     []int
+	tags    []bool
+	shuffle []int
+}
+
+// Merge runs the §4 merge procedure with the scratch's buffers. The
+// returned slice is owned by the Scratch and valid until the next call.
+func (s *Scratch) Merge(det, pool Source, k int, r float64, rng *randutil.RNG) []int {
+	s.dst, _, s.shuffle = mergeImpl(det, pool, k, r, rng, s.dst[:0], nil, s.shuffle, false)
+	return s.dst
+}
+
+// MergeTagged is Merge plus provenance: fromPool[i] reports whether
+// position i was filled from the promotion pool rather than the
+// deterministic list. Both returned slices are owned by the Scratch and
+// valid until the next call. The merged list is identical to what Merge
+// would produce from the same inputs and RNG state.
+func (s *Scratch) MergeTagged(det, pool Source, k int, r float64, rng *randutil.RNG) (merged []int, fromPool []bool) {
+	s.dst, s.tags, s.shuffle = mergeImpl(det, pool, k, r, rng, s.dst[:0], s.tags[:0], s.shuffle, true)
+	return s.dst, s.tags
 }
 
 // Resolver resolves single positions of a fresh random merge without

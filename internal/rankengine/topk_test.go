@@ -1,0 +1,58 @@
+package rankengine
+
+import "testing"
+
+func TestTopK(t *testing.T) {
+	tr := New(1)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{ID: i, Popularity: float64((i * 37) % 100), BirthDay: i})
+	}
+	full := tr.AppendRanked(nil)
+	for _, k := range []int{0, 1, 5, 100, 500} {
+		got := tr.TopK(k, nil)
+		want := k
+		if want > len(full) {
+			want = len(full)
+		}
+		if k <= 0 {
+			want = 0
+		}
+		if len(got) != want {
+			t.Fatalf("TopK(%d) returned %d entries, want %d", k, len(got), want)
+		}
+		for i := range got {
+			if got[i] != full[i] {
+				t.Fatalf("TopK(%d)[%d] = %+v, want %+v", k, i, got[i], full[i])
+			}
+		}
+	}
+	// Appends to existing dst.
+	dst := []Entry{{ID: -1}}
+	dst = tr.TopK(2, dst)
+	if len(dst) != 3 || dst[0].ID != -1 || dst[1] != full[0] {
+		t.Fatalf("TopK append broke dst: %+v", dst)
+	}
+}
+
+func TestLessMatchesOrdering(t *testing.T) {
+	tr := New(2)
+	entries := []Entry{
+		{ID: 3, Popularity: 5, BirthDay: 1},
+		{ID: 1, Popularity: 5, BirthDay: 0},
+		{ID: 2, Popularity: 9, BirthDay: 7},
+		{ID: 4, Popularity: 5, BirthDay: 1},
+	}
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	ranked := tr.AppendRanked(nil)
+	for i := 1; i < len(ranked); i++ {
+		if !Less(ranked[i-1], ranked[i]) {
+			t.Fatalf("exported Less disagrees with treap order at %d: %+v !< %+v",
+				i, ranked[i-1], ranked[i])
+		}
+		if Less(ranked[i], ranked[i-1]) {
+			t.Fatalf("Less not antisymmetric at %d", i)
+		}
+	}
+}

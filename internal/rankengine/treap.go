@@ -22,6 +22,12 @@ type Entry struct {
 	BirthDay   int
 }
 
+// Less reports whether a ranks strictly better than b: higher popularity
+// first, then older (smaller BirthDay), then smaller ID for total order.
+// It is exported so shard mergers (the serving layer's top-list merge) can
+// interleave entries from several treaps in global rank order.
+func Less(a, b Entry) bool { return less(a, b) }
+
 // less orders entries by rank: higher popularity first, then older
 // (smaller BirthDay), then smaller ID for total order.
 func less(a, b Entry) bool {
@@ -256,6 +262,22 @@ func (t *Treap) Ascend(fn func(rank int, e Entry) bool) {
 		return walk(n.right)
 	}
 	walk(t.root)
+}
+
+// TopK appends the k best-ranked entries to dst in rank order and returns
+// it. k larger than Len() yields every entry; k <= 0 yields none. Unlike
+// AppendRanked it visits only the O(k + log n) nodes on the walk, so a
+// serving shard can rebuild its top-list snapshot without touching the
+// long tail.
+func (t *Treap) TopK(k int, dst []Entry) []Entry {
+	if k <= 0 {
+		return dst
+	}
+	t.Ascend(func(rank int, e Entry) bool {
+		dst = append(dst, e)
+		return rank < k
+	})
+	return dst
 }
 
 // AppendRanked appends all entries in rank order to dst and returns it.

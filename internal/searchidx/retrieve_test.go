@@ -1,0 +1,36 @@
+package searchidx
+
+import "testing"
+
+func TestRetrieve(t *testing.T) {
+	ix := NewIndex()
+	docs := []Document{
+		{ID: 3, Text: "go ranking service"},
+		{ID: 1, Text: "go ranking paper"},
+		{ID: 2, Text: "ranking theory"},
+	}
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ix.Retrieve("go ranking")
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Retrieve = %v, want [1 3] in ascending id order", got)
+	}
+	if got := ix.Retrieve("ranking"); len(got) != 3 {
+		t.Fatalf("Retrieve single term = %v, want 3 matches", got)
+	}
+	if got := ix.Retrieve("go theory"); len(got) != 0 {
+		t.Fatalf("conjunctive Retrieve = %v, want empty", got)
+	}
+	if got := ix.Retrieve(""); got != nil {
+		t.Fatalf("empty query = %v, want nil", got)
+	}
+	// The returned slice must not alias postings storage.
+	got = ix.Retrieve("ranking")
+	got[0] = -7
+	if again := ix.Retrieve("ranking"); again[0] == -7 {
+		t.Fatal("Retrieve aliases postings storage")
+	}
+}

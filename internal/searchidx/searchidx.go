@@ -120,6 +120,13 @@ func (ix *Index) SetPopularity(id int, score float64) error {
 // Popularity returns a document's score (zero if never set).
 func (ix *Index) Popularity(id int) float64 { return ix.pop[id] }
 
+// Retrieve returns the ids of the documents matching every query term
+// (conjunctive AND), in ascending id order, without ranking them. It is
+// the candidate-set hook for callers that keep popularity elsewhere — the
+// serving layer retrieves here and ranks against its own live shard
+// statistics. The returned slice is freshly allocated.
+func (ix *Index) Retrieve(query string) []int { return ix.retrieve(query) }
+
 // retrieve returns the ids matching every query term (conjunctive).
 func (ix *Index) retrieve(query string) []int {
 	terms := Tokenize(query)

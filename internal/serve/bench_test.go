@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// benchCorpus builds a 10k-page corpus over 8 shards: 2% zero-awareness,
+// the rest with Zipf-shaped popularity — the serving benchmark's steady
+// state.
+func benchCorpus(b *testing.B) (*Corpus, int) {
+	b.Helper()
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	c, err := NewCorpus(Config{Shards: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < n; i++ {
+		pop := 0.0
+		if i%50 != 0 {
+			pop = float64(n) / float64(i+1)
+		}
+		if err := c.Add(i, fmt.Sprintf("bench topic page%d", i), pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Sync()
+	return c, n
+}
+
+// BenchmarkServeRank measures the /rank hot path end to end on the
+// in-process corpus: lock-free snapshot reads plus one
+// promotion-sampling merge pass, concurrent across GOMAXPROCS
+// goroutines the way a server's handler pool would run it. It reports
+// sustained QPS alongside ns/op.
+func BenchmarkServeRank(b *testing.B) {
+	c, _ := benchCorpus(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := c.Rank("", 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != 10 {
+				b.Fatalf("served %d results", len(res))
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "qps")
+	}
+}
+
+// BenchmarkServeRankQuery measures the query path: conjunctive retrieval
+// plus live stat lookups plus the promotion merge.
+func BenchmarkServeRankQuery(b *testing.B) {
+	c, _ := benchCorpus(b)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Rank("bench topic", 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkServeRankHTTP measures the full HTTP handler path: JSON
+// decode, rank, JSON encode — the per-request cost a deployment pays.
+func BenchmarkServeRankHTTP(b *testing.B) {
+	c, _ := benchCorpus(b)
+	srv := NewServer(c)
+	body, err := json.Marshal(RankRequest{N: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/rank", bytes.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkServeFeedback measures feedback ingestion throughput through
+// the sharded apply loops, events/op = 64.
+func BenchmarkServeFeedback(b *testing.B) {
+	c, n := benchCorpus(b)
+	var seq atomic.Uint64
+	const batch = 64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		local := make([]Event, batch)
+		for pb.Next() {
+			base := int(seq.Add(1))
+			for i := range local {
+				local[i] = Event{Page: (base*batch + i) % n, Slot: 1 + i%10, Impressions: 1, Clicks: 1}
+			}
+			c.Feedback(local)
+		}
+	})
+	b.StopTimer()
+	c.Sync()
+}

@@ -1,0 +1,248 @@
+// Package loadgen drives the ranking service's HTTP API with simulated
+// users and measures it: sustained QPS and p50/p90/p99 rank latency.
+//
+// Each simulated user issues POST /rank, scans the returned list with the
+// paper's rank-bias attention law (§5.3: position i draws attention
+// ∝ i^(−3/2)), visits one sampled position, clicks it with probability
+// equal to the page's true quality, and reports slot-level impressions and
+// clicks back through POST /feedback in batches. Run long enough, the
+// closed loop reproduces the paper's dynamic online: promoted
+// zero-awareness pages of high quality accumulate clicks and rise into
+// the deterministic ranking.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/randutil"
+	"repro/internal/serve"
+)
+
+// Config parameterizes a load run. BaseURL is required; every other zero
+// field selects a default.
+type Config struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client overrides the HTTP client (default: a dedicated one with a
+	// 10 s timeout).
+	Client *http.Client
+	// Workers is the number of concurrent simulated users (default 4).
+	Workers int
+	// Requests is the total number of rank requests to issue (default 400).
+	Requests int
+	// Query is sent with every rank request ("" ranks the whole corpus).
+	Query string
+	// N is the result-list length requested (default serve.DefaultTopN).
+	N int
+	// Quality maps a page id to the probability a visiting user clicks it
+	// (the paper's page quality). Nil means nobody ever clicks.
+	Quality func(id int) float64
+	// FeedbackBatch is how many events a worker accumulates before
+	// flushing to /feedback (default 20; remainder flushes at the end).
+	FeedbackBatch int
+	// Seed drives the simulated users' randomness.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 400
+	}
+	if c.N <= 0 {
+		c.N = serve.DefaultTopN
+	}
+	if c.FeedbackBatch <= 0 {
+		c.FeedbackBatch = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	Requests      int           // rank requests completed
+	Errors        int           // rank or feedback requests that failed
+	FeedbackPosts int           // feedback batches flushed
+	Impressions   int64         // slot impressions reported
+	Clicks        int64         // clicks reported
+	Duration      time.Duration // wall clock of the whole run
+	QPS           float64       // completed rank requests per second
+	P50, P90, P99 time.Duration // rank request latency percentiles
+	Max           time.Duration
+}
+
+// String renders the report as a compact human-readable block.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"requests %d (errors %d) in %v — %.0f QPS\nrank latency p50 %v  p90 %v  p99 %v  max %v\nfeedback: %d posts, %d impressions, %d clicks",
+		r.Requests, r.Errors, r.Duration.Round(time.Millisecond), r.QPS,
+		r.P50, r.P90, r.P99, r.Max,
+		r.FeedbackPosts, r.Impressions, r.Clicks)
+}
+
+type worker struct {
+	cfg     Config
+	rng     *randutil.RNG
+	att     *attention.Model
+	pending []serve.Event
+
+	latencies []time.Duration
+	report    Report
+}
+
+// Run executes the load run and aggregates per-worker measurements.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL required")
+	}
+	att, err := attention.Default(cfg.N, float64(cfg.N))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	workers := make([]*worker, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		w := &worker{cfg: cfg, rng: randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15), att: att}
+		workers[i] = w
+		// Split the request budget evenly; the first workers take the
+		// remainder.
+		n := cfg.Requests / cfg.Workers
+		if i < cfg.Requests%cfg.Workers {
+			n++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(n)
+		}()
+	}
+	wg.Wait()
+	total := &Report{Duration: time.Since(start)}
+	var lat []time.Duration
+	for _, w := range workers {
+		total.Requests += w.report.Requests
+		total.Errors += w.report.Errors
+		total.FeedbackPosts += w.report.FeedbackPosts
+		total.Impressions += w.report.Impressions
+		total.Clicks += w.report.Clicks
+		lat = append(lat, w.latencies...)
+	}
+	if total.Duration > 0 {
+		total.QPS = float64(total.Requests) / total.Duration.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		total.P50 = percentile(lat, 0.50)
+		total.P90 = percentile(lat, 0.90)
+		total.P99 = percentile(lat, 0.99)
+		total.Max = lat[len(lat)-1]
+	}
+	return total, nil
+}
+
+// percentile reads the p-quantile from an ascending-sorted sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (w *worker) run(requests int) {
+	for i := 0; i < requests; i++ {
+		items, err := w.rank()
+		if err != nil {
+			w.report.Errors++
+			continue
+		}
+		w.report.Requests++
+		w.observe(items)
+		if len(w.pending) >= w.cfg.FeedbackBatch {
+			w.flush()
+		}
+	}
+	w.flush()
+}
+
+func (w *worker) rank() ([]serve.RankedItem, error) {
+	body, err := json.Marshal(serve.RankRequest{Query: w.cfg.Query, N: w.cfg.N})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	resp, err := w.cfg.Client.Post(w.cfg.BaseURL+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("loadgen: /rank status %d", resp.StatusCode)
+	}
+	var rr serve.RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, err
+	}
+	// Only successful, fully decoded requests contribute latency
+	// samples; Report.Requests counts exactly these.
+	w.latencies = append(w.latencies, time.Since(start))
+	return rr.Results, nil
+}
+
+// observe simulates one user on one result list: every served slot is an
+// impression; one attention-sampled position is visited and clicked with
+// probability equal to the page's quality.
+func (w *worker) observe(items []serve.RankedItem) {
+	if len(items) == 0 {
+		return
+	}
+	visit := w.att.SampleRank(w.rng)
+	for _, it := range items {
+		e := serve.Event{Page: it.ID, Slot: it.Slot, Impressions: 1}
+		if it.Slot == visit && w.cfg.Quality != nil && w.rng.Bernoulli(w.cfg.Quality(it.ID)) {
+			e.Clicks = 1
+			w.report.Clicks++
+		}
+		w.report.Impressions++
+		w.pending = append(w.pending, e)
+	}
+}
+
+func (w *worker) flush() {
+	if len(w.pending) == 0 {
+		return
+	}
+	body, err := json.Marshal(serve.FeedbackRequest{Events: w.pending})
+	w.pending = w.pending[:0]
+	if err != nil {
+		w.report.Errors++
+		return
+	}
+	resp, err := w.cfg.Client.Post(w.cfg.BaseURL+"/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		w.report.Errors++
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		w.report.Errors++
+		return
+	}
+	w.report.FeedbackPosts++
+}

@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestLoadRunPromotesPlantedGem is the paper's whole argument run
+// end-to-end over HTTP: a corpus of entrenched mediocre pages plus one
+// planted zero-awareness page of high quality, served with the
+// recommended selective policy under simulated click traffic. The gem
+// can only be seen through randomized promotion; because users click
+// what they like, its clicks must lift it into the deterministic top
+// ranking by the end of the run.
+func TestLoadRunPromotesPlantedGem(t *testing.T) {
+	const (
+		established = 30
+		gemID       = 999
+		gemQuality  = 0.95
+		dullQuality = 0.03
+	)
+	c, err := serve.NewCorpus(serve.Config{Shards: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < established; i++ {
+		// Establishment popularity 1.50 down to 0.05: entrenched, but a
+		// page's first clicks keep it inside the served window so it can
+		// fend for itself after leaving the promotion pool (§4).
+		if err := c.Add(i, fmt.Sprintf("gadgets review page%d", i), float64(established-i)*0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Add(gemID, "gadgets review hidden gem", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+
+	for _, st := range c.Top(10) {
+		if st.ID == gemID {
+			t.Fatal("gem already in deterministic top before any traffic")
+		}
+	}
+
+	srv := httptest.NewServer(serve.NewServer(c))
+	defer srv.Close()
+
+	report, err := Run(Config{
+		BaseURL:  srv.URL,
+		Workers:  4,
+		Requests: 1000,
+		N:        20,
+		Seed:     5,
+		Quality: func(id int) float64 {
+			if id == gemID {
+				return gemQuality
+			}
+			return dullQuality
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("load run had %d errors: %v", report.Errors, report)
+	}
+	if report.Requests != 1000 {
+		t.Fatalf("completed %d requests, want 1000", report.Requests)
+	}
+	if report.Clicks == 0 || report.Impressions == 0 {
+		t.Fatalf("no feedback generated: %v", report)
+	}
+	if report.P50 <= 0 || report.P99 < report.P50 || report.QPS <= 0 {
+		t.Fatalf("implausible latency report: %v", report)
+	}
+	c.Sync()
+
+	gem, ok := c.Page(gemID)
+	if !ok {
+		t.Fatal("gem vanished")
+	}
+	if !gem.Aware {
+		t.Fatal("gem never promoted out of the zero-awareness pool")
+	}
+	if gem.Clicks == 0 || gem.Popularity == 0 {
+		t.Fatalf("gem got no clicks: %+v", gem)
+	}
+	inTop := false
+	for _, st := range c.Top(10) {
+		if st.ID == gemID {
+			inTop = true
+		}
+	}
+	if !inTop {
+		top := c.Top(10)
+		t.Fatalf("gem (popularity %v after %d clicks) not in deterministic top 10: %+v",
+			gem.Popularity, gem.Clicks, top)
+	}
+
+	// The feedback ledger must conserve: applied clicks equal reported
+	// clicks, applied impressions equal reported impressions.
+	st := c.Stats()
+	if st.ClicksApplied != uint64(report.Clicks) {
+		t.Fatalf("clicks applied %d != clicks sent %d", st.ClicksApplied, report.Clicks)
+	}
+	if st.ImpressionsApplied != uint64(report.Impressions) {
+		t.Fatalf("impressions applied %d != impressions sent %d", st.ImpressionsApplied, report.Impressions)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d events", st.Dropped)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("Run accepted empty BaseURL")
+	}
+}

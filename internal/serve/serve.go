@@ -1,0 +1,800 @@
+// Package serve is the online ranking service the paper argues a live
+// search engine should run: it holds a corpus in N popularity shards,
+// answers rank requests by merging shard top-lists and applying a
+// randomized rank-promotion policy per query (§4), and ingests
+// impression/click feedback that updates popularity and awareness —
+// promoting pages out of the zero-awareness pool exactly as the selective
+// rule requires, so that real user feedback (not an offline snapshot)
+// decides which new pages surface.
+//
+// Concurrency design. Pages hash to shards by ID. Each shard's mutable
+// ranking state — an order-statistic treap over explored (aware) pages and
+// the zero-awareness pool — is owned by a single apply goroutine that
+// drains batched feedback from a channel; nothing else ever touches it, so
+// the writer needs no locks. Readers see the shard through two lock-free
+// structures: an epoch-swapped (RCU-style) snapshot holding the
+// deterministic top-K list and a bounded sample of the zero-awareness
+// pool, republished atomically after every batch that changes ranking
+// state, and a sync.Map of immutable per-page Stat values replaced (never
+// mutated) by the apply loop. A /rank request is therefore lock-free
+// reads plus one promotion-sampling merge pass; /feedback is a channel
+// send per shard.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/randutil"
+	"repro/internal/rankengine"
+	"repro/internal/searchidx"
+)
+
+// DefaultTopN is the result-list length served when a request does not
+// specify one.
+const DefaultTopN = 10
+
+// SlotTrack is how many leading result positions get their own
+// impression/click telemetry counters; deeper slots fold into the last
+// bucket.
+const SlotTrack = 100
+
+// slotCounters is the corpus-wide per-position telemetry, written by the
+// shard apply loops (only for events actually applied, so it always
+// agrees with ImpressionsApplied/ClicksApplied) and read lock-free.
+type slotCounters struct {
+	imp [SlotTrack]atomic.Uint64
+	clk [SlotTrack]atomic.Uint64
+}
+
+func (sc *slotCounters) record(e Event) {
+	// applyEvent has already rejected Slot < 1.
+	slot := e.Slot
+	if slot > SlotTrack {
+		slot = SlotTrack
+	}
+	sc.imp[slot-1].Add(uint64(e.Impressions))
+	sc.clk[slot-1].Add(uint64(e.Clicks))
+}
+
+// Config sizes a Corpus. The zero value of every field selects a default.
+type Config struct {
+	// Shards is the number of popularity shards (default 4).
+	Shards int
+	// TopK is the length of each shard's deterministic top-list snapshot
+	// (default 128). The global deterministic ranking a request can see is
+	// the merge of these, so Shards×TopK bounds the servable list.
+	TopK int
+	// PoolCap bounds the zero-awareness sample carried by each shard
+	// snapshot (default 128). When a shard holds more zero-awareness pages
+	// than PoolCap, each epoch publishes a fresh uniform sample, so every
+	// unexplored page keeps a chance of promotion across epochs.
+	PoolCap int
+	// QueueLen is each shard's feedback-queue capacity in batches
+	// (default 64). Senders block when it fills: backpressure, not loss.
+	QueueLen int
+	// Policy is the promotion policy applied per query. The zero Policy is
+	// replaced by core.Recommended().
+	Policy core.Policy
+	// Seed drives all service randomness (per-request merge RNGs, pool
+	// sampling). Zero means seed 1.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.TopK <= 0 {
+		c.TopK = 128
+	}
+	if c.PoolCap <= 0 {
+		c.PoolCap = 128
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 64
+	}
+	if c.Policy == (core.Policy{}) {
+		c.Policy = core.Recommended()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Event is one slot-level feedback observation: the page served at a
+// 1-based result position (Slot must be >= 1), how many times it was
+// shown there and how many of those impressions were clicked. Clicks
+// increase popularity and — per the selective rule — a first click
+// promotes the page out of the zero-awareness pool. Impressions alone
+// only feed telemetry: being shown is not being visited. Events with a
+// slot below 1 or negative counts are counted as dropped.
+type Event struct {
+	Page        int `json:"page"`
+	Slot        int `json:"slot"`
+	Impressions int `json:"impressions"`
+	Clicks      int `json:"clicks"`
+}
+
+// Stat is a page's current serving state. Values handed out are immutable
+// copies; the apply loop replaces, never mutates, the stored ones.
+type Stat struct {
+	ID         int
+	Popularity float64
+	Birth      int // corpus insertion sequence; smaller = older
+	Aware      bool
+	// Impressions and Clicks are lifetime feedback totals for the page.
+	Impressions int64
+	Clicks      int64
+}
+
+// Result is one served result slot.
+type Result struct {
+	ID         int
+	Popularity float64
+	// Promoted reports that the slot was filled from the promotion pool
+	// rather than the deterministic ranking.
+	Promoted bool
+}
+
+// Stats is a corpus-wide accounting snapshot.
+type Stats struct {
+	Pages           int
+	Aware           int
+	ZeroAware       int
+	TotalPopularity float64
+	// ImpressionsApplied and ClicksApplied count feedback actually folded
+	// into shard state; Dropped counts events for unknown pages.
+	ImpressionsApplied uint64
+	ClicksApplied      uint64
+	Dropped            uint64
+	// Epochs holds each shard's snapshot epoch (how many times its
+	// top-list has been republished).
+	Epochs []uint64
+}
+
+// applyReq is one message to a shard's apply loop.
+type applyReq struct {
+	add    []Stat
+	events []Event
+	done   chan struct{} // non-nil: close after everything earlier applied
+}
+
+// snapshot is a shard's immutable published view.
+type snapshot struct {
+	epoch uint64
+	top   []rankengine.Entry // deterministic top-K, best rank first
+	pool  []int              // zero-awareness sample (uniform when capped)
+}
+
+type shard struct {
+	cfg Config
+	ch  chan applyReq
+
+	// stats maps page id -> *Stat. Written only by the apply loop (and by
+	// nothing after Close); read lock-free by every request.
+	stats sync.Map
+
+	// Owned exclusively by the apply loop:
+	treap   *rankengine.Treap
+	poolIDs []int       // zero-awareness page ids, swap-remove order
+	poolPos map[int]int // id -> index in poolIDs
+	rng     *randutil.RNG
+	scratch []int // pool-sampling buffer
+
+	snap atomic.Pointer[snapshot]
+
+	slots       *slotCounters
+	impressions atomic.Uint64
+	clicks      atomic.Uint64
+	dropped     atomic.Uint64
+}
+
+// Corpus is the live sharded corpus behind the service. All methods are
+// safe for concurrent use, except that Add, Feedback and Sync must not be
+// called concurrently with or after Close.
+type Corpus struct {
+	cfg    Config
+	shards []*shard
+	slots  slotCounters
+	wg     sync.WaitGroup
+
+	idxMu sync.RWMutex
+	idx   *searchidx.Index
+	seq   int // birth sequence, guarded by idxMu
+
+	reqSeq  atomic.Uint64
+	scratch sync.Pool // *reqScratch
+}
+
+// NewCorpus builds an empty live corpus and starts one apply goroutine
+// per shard. Callers must Close it to stop them.
+func NewCorpus(cfg Config) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex()}
+	c.scratch.New = func() any {
+		return &reqScratch{
+			rng:   randutil.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * (1 + c.reqSeq.Add(1)))),
+			heads: make([]int, cfg.Shards),
+		}
+	}
+	c.shards = make([]*shard, cfg.Shards)
+	for i := range c.shards {
+		sh := &shard{
+			cfg:     cfg,
+			slots:   &c.slots,
+			ch:      make(chan applyReq, cfg.QueueLen),
+			treap:   rankengine.New(cfg.Seed + uint64(i)*2654435761),
+			poolPos: make(map[int]int),
+			rng:     randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
+		}
+		sh.snap.Store(&snapshot{})
+		c.shards[i] = sh
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			sh.run()
+		}()
+	}
+	return c, nil
+}
+
+// Policy returns the corpus's promotion policy.
+func (c *Corpus) Policy() core.Policy { return c.cfg.Policy }
+
+// Shards returns the shard count.
+func (c *Corpus) Shards() int { return len(c.shards) }
+
+func (c *Corpus) shardFor(id int) *shard {
+	return c.shards[int(uint(id)%uint(len(c.shards)))]
+}
+
+// Add indexes a document and enqueues it on its shard. A page with
+// popularity zero starts in the zero-awareness promotion pool; positive
+// popularity marks it already explored. The page becomes servable once
+// its shard applies the addition (Sync forces that).
+func (c *Corpus) Add(id int, text string, popularity float64) error {
+	if popularity < 0 {
+		return fmt.Errorf("serve: negative popularity %v for page %d", popularity, id)
+	}
+	c.idxMu.Lock()
+	err := c.idx.Add(searchidx.Document{ID: id, Text: text})
+	var birth int
+	if err == nil {
+		birth = c.seq
+		c.seq++
+	}
+	c.idxMu.Unlock()
+	if err != nil {
+		return err
+	}
+	st := Stat{ID: id, Popularity: popularity, Birth: birth, Aware: popularity > 0}
+	c.shardFor(id).ch <- applyReq{add: []Stat{st}}
+	return nil
+}
+
+// Feedback partitions the events by shard and enqueues them on the
+// single-writer apply loops. It blocks only when a shard queue is full
+// (backpressure). Events for unknown pages are counted and dropped at
+// apply time.
+func (c *Corpus) Feedback(events []Event) {
+	if len(events) == 0 {
+		return
+	}
+	if len(c.shards) == 1 {
+		batch := make([]Event, len(events))
+		copy(batch, events)
+		c.shards[0].ch <- applyReq{events: batch}
+		return
+	}
+	batches := make([][]Event, len(c.shards))
+	for _, e := range events {
+		si := int(uint(e.Page) % uint(len(c.shards)))
+		batches[si] = append(batches[si], e)
+	}
+	for si, b := range batches {
+		if len(b) > 0 {
+			c.shards[si].ch <- applyReq{events: b}
+		}
+	}
+}
+
+// Sync blocks until every feedback event and addition enqueued before the
+// call has been applied and published.
+func (c *Corpus) Sync() {
+	done := make([]chan struct{}, len(c.shards))
+	for i, sh := range c.shards {
+		done[i] = make(chan struct{})
+		sh.ch <- applyReq{done: done[i]}
+	}
+	for _, d := range done {
+		<-d
+	}
+}
+
+// Close stops the apply loops after draining their queues. The corpus
+// remains readable (Rank, Top, Page, Stats) but must not receive further
+// Add, Feedback or Sync calls.
+func (c *Corpus) Close() {
+	for _, sh := range c.shards {
+		close(sh.ch)
+	}
+	c.wg.Wait()
+}
+
+// Page returns a page's current serving state.
+func (c *Corpus) Page(id int) (Stat, bool) {
+	if v, ok := c.shardFor(id).stats.Load(id); ok {
+		return *v.(*Stat), true
+	}
+	return Stat{}, false
+}
+
+// Stats aggregates corpus-wide accounting. It walks the per-page stat
+// maps, so it is O(pages) — telemetry, not a hot path.
+func (c *Corpus) Stats() Stats {
+	var s Stats
+	s.Epochs = make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		s.Epochs[i] = sh.snap.Load().epoch
+		s.ImpressionsApplied += sh.impressions.Load()
+		s.ClicksApplied += sh.clicks.Load()
+		s.Dropped += sh.dropped.Load()
+		sh.stats.Range(func(_, v any) bool {
+			st := v.(*Stat)
+			s.Pages++
+			s.TotalPopularity += st.Popularity
+			if st.Aware {
+				s.Aware++
+			} else {
+				s.ZeroAware++
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// SlotTelemetry returns (impressions, clicks) for the 1-based result
+// position, counting only feedback actually applied — the per-slot log
+// position-bias measurement needs. Slots beyond SlotTrack fold into the
+// SlotTrack bucket; out-of-range slots return zeros.
+func (c *Corpus) SlotTelemetry(slot int) (impressions, clicks uint64) {
+	if slot < 1 || slot > SlotTrack {
+		return 0, 0
+	}
+	return c.slots.imp[slot-1].Load(), c.slots.clk[slot-1].Load()
+}
+
+// Epoch returns the sum of the shard snapshot epochs: a monotone counter
+// that advances whenever any shard republishes its top-list.
+func (c *Corpus) Epoch() uint64 {
+	var e uint64
+	for _, sh := range c.shards {
+		e += sh.snap.Load().epoch
+	}
+	return e
+}
+
+// reqScratch is the per-request working set, recycled through a pool so a
+// steady-state Rank call allocates only its result slice.
+type reqScratch struct {
+	rng   *randutil.RNG
+	sc    core.Scratch
+	det   []int
+	pool  []int
+	ids   []int
+	cand  []Stat
+	heads []int
+	snaps []*snapshot
+}
+
+// Rank serves one query: lock-free candidate assembly, one
+// promotion-sampling merge pass under the corpus policy, at most n
+// results. An empty query ranks the whole corpus by merging the shard
+// top-list snapshots; a non-empty query ranks the conjunctive matches
+// from the search index. Each call randomizes independently, the way
+// every user query sees a fresh merge.
+func (c *Corpus) Rank(query string, n int) ([]Result, error) {
+	rs := c.scratch.Get().(*reqScratch)
+	defer c.scratch.Put(rs)
+	return c.rank(query, n, rs.rng, rs)
+}
+
+// RankSeeded is Rank with caller-controlled randomness, for reproducible
+// tests and benchmarks.
+func (c *Corpus) RankSeeded(query string, n int, seed uint64) ([]Result, error) {
+	rs := c.scratch.Get().(*reqScratch)
+	defer c.scratch.Put(rs)
+	return c.rank(query, n, randutil.New(seed), rs)
+}
+
+func (c *Corpus) rank(query string, n int, rng *randutil.RNG, rs *reqScratch) ([]Result, error) {
+	if n <= 0 {
+		n = DefaultTopN
+	}
+	det, pool := rs.det[:0], rs.pool[:0]
+	if query == "" {
+		det, pool = c.browseCandidates(n, det, pool, rng, rs)
+	} else {
+		var err error
+		det, pool, err = c.queryCandidates(query, n, det, pool, rng, rs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rs.det, rs.pool = det, pool
+	p := c.cfg.Policy
+	// Pointer sources box without allocating, so the merge pass costs no
+	// per-request interface conversions.
+	merged, fromPool := rs.sc.MergeTagged(
+		(*core.Slice)(&rs.det), (*core.Slice)(&rs.pool), p.K, p.R, rng)
+	if len(merged) > n {
+		merged, fromPool = merged[:n], fromPool[:n]
+	}
+	out := make([]Result, len(merged))
+	for i, id := range merged {
+		res := Result{ID: id, Promoted: fromPool[i]}
+		if v, ok := c.shardFor(id).stats.Load(id); ok {
+			res.Popularity = v.(*Stat).Popularity
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// mergeSnapshotTops walks the shard snapshots' deterministic top-lists
+// in global rank order (rankengine.Less across the current heads),
+// calling visit for each entry until every list is exhausted or visit
+// returns false. heads must hold len(snaps) zeroed cursors. With a
+// handful of shards a linear head scan beats a heap.
+func mergeSnapshotTops(snaps []*snapshot, heads []int, visit func(e rankengine.Entry) bool) {
+	for {
+		best := -1
+		for si, sn := range snaps {
+			if heads[si] >= len(sn.top) {
+				continue
+			}
+			if best == -1 || rankengine.Less(sn.top[heads[si]], snaps[best].top[heads[best]]) {
+				best = si
+			}
+		}
+		if best == -1 {
+			return
+		}
+		e := snaps[best].top[heads[best]]
+		heads[best]++
+		if !visit(e) {
+			return
+		}
+	}
+}
+
+// loadSnapshots fills rs with each shard's current snapshot and zeroed
+// merge cursors.
+func (c *Corpus) loadSnapshots(rs *reqScratch) []*snapshot {
+	snaps := rs.snaps[:0]
+	for _, sh := range c.shards {
+		snaps = append(snaps, sh.snap.Load())
+	}
+	rs.snaps = snaps
+	for i := range rs.heads {
+		rs.heads[i] = 0
+	}
+	return snaps
+}
+
+// browseCandidates assembles the det/pool split for the whole-corpus
+// ranking from the shard snapshots: a k-way merge of the deterministic
+// top-lists (stopping once n det entries are in hand — promotion can only
+// shorten the deterministic need) and the concatenated zero-awareness
+// samples, split per the policy rule. Entirely lock-free.
+func (c *Corpus) browseCandidates(n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int) {
+	snaps := c.loadSnapshots(rs)
+	appendRanked := func(dst []int, limit int) []int {
+		mergeSnapshotTops(snaps, rs.heads, func(e rankengine.Entry) bool {
+			dst = append(dst, e.ID)
+			return len(dst) < limit
+		})
+		return dst
+	}
+	switch c.cfg.Policy.Rule {
+	case core.RuleSelective:
+		det = appendRanked(det, n)
+		for _, sn := range snaps {
+			pool = append(pool, sn.pool...)
+		}
+	case core.RuleUniform:
+		// The uniform rule pools every result page independently with
+		// probability r; zero-awareness pages are ordinary bottom-ranked
+		// candidates here.
+		ranked := appendRanked(rs.ids[:0], n)
+		for _, sn := range snaps {
+			ranked = append(ranked, sn.pool...)
+		}
+		rs.ids = ranked
+		for _, id := range ranked {
+			if rng.Bernoulli(c.cfg.Policy.R) {
+				pool = append(pool, id)
+			} else {
+				det = append(det, id)
+			}
+		}
+	default: // RuleNone: pure popularity order, unexplored tail last.
+		det = appendRanked(det, n)
+		for _, sn := range snaps {
+			if len(det) >= n {
+				break
+			}
+			for _, id := range sn.pool {
+				det = append(det, id)
+				if len(det) >= n {
+					break
+				}
+			}
+		}
+	}
+	return det, pool
+}
+
+// statLess orders page stats by rank: higher popularity first, then
+// older (smaller Birth), then smaller ID — the same total order the
+// shard treaps maintain.
+func statLess(a, b Stat) bool {
+	if a.Popularity != b.Popularity {
+		return a.Popularity > b.Popularity
+	}
+	if a.Birth != b.Birth {
+		return a.Birth < b.Birth
+	}
+	return a.ID < b.ID
+}
+
+// heapPush and heapFix maintain best as a bounded binary heap with the
+// worst-ranked kept stat at the root (index 0), so selecting the
+// servable top-n from m matches is a true O(m log n) — comparisons and
+// element moves both — regardless of arrival order. The heap is
+// rank-sorted only once, after the scan.
+
+// heapPush appends st and sifts it up.
+func heapPush(best []Stat, st Stat) []Stat {
+	best = append(best, st)
+	i := len(best) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		// The parent must not rank better than its children (worst at
+		// the root).
+		if !statLess(best[p], best[i]) {
+			break
+		}
+		best[p], best[i] = best[i], best[p]
+		i = p
+	}
+	return best
+}
+
+// heapFix restores the invariant after best[0] was replaced.
+func heapFix(best []Stat) {
+	i := 0
+	for {
+		worst, l, r := i, 2*i+1, 2*i+2
+		if l < len(best) && statLess(best[worst], best[l]) {
+			worst = l
+		}
+		if r < len(best) && statLess(best[worst], best[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		best[i], best[worst] = best[worst], best[i]
+		i = worst
+	}
+}
+
+// queryCandidates assembles the det/pool split for a query: conjunctive
+// retrieval from the index, lock-free stat lookups, then a single pass
+// that keeps only the best n deterministic candidates (the merge can
+// never consume more) and a bounded uniform reservoir of the pooled
+// ones — mirroring the browse path's Shards×PoolCap promotion sample —
+// so per-request work and retained scratch are bounded by n + the pool
+// cap, not by match count.
+func (c *Corpus) queryCandidates(query string, n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int, err error) {
+	c.idxMu.RLock()
+	ids := c.idx.Retrieve(query)
+	c.idxMu.RUnlock()
+	if len(ids) == 0 {
+		return det, pool, nil
+	}
+	poolCap := c.cfg.PoolCap * len(c.shards)
+	poolSeen := 0
+	// Algorithm R: every pooled match ends up in the merge's promotion
+	// sample with equal probability poolCap/seen.
+	addPool := func(id int) {
+		poolSeen++
+		if len(pool) < poolCap {
+			pool = append(pool, id)
+			return
+		}
+		if j := rng.Intn(poolSeen); j < poolCap {
+			pool[j] = id
+		}
+	}
+	best := rs.cand[:0]
+	rule, r := c.cfg.Policy.Rule, c.cfg.Policy.R
+	for _, id := range ids {
+		v, ok := c.shardFor(id).stats.Load(id)
+		if !ok {
+			continue
+		}
+		st := *v.(*Stat)
+		switch {
+		case rule == core.RuleSelective && !st.Aware:
+			addPool(st.ID)
+		case rule == core.RuleUniform && rng.Bernoulli(r):
+			addPool(st.ID)
+		case len(best) < n:
+			best = heapPush(best, st)
+		case statLess(st, best[0]):
+			best[0] = st
+			heapFix(best)
+		}
+	}
+	sort.Slice(best, func(i, j int) bool { return statLess(best[i], best[j]) })
+	rs.cand = best
+	for _, st := range best {
+		det = append(det, st.ID)
+	}
+	return det, pool, nil
+}
+
+// Top returns the deterministic (promotion-free) global top-n explored
+// pages by merging the shard snapshots — the ranking a conventional
+// engine would serve, and the yardstick for "did feedback promote this
+// page into the establishment".
+func (c *Corpus) Top(n int) []Stat {
+	if n <= 0 {
+		n = DefaultTopN
+	}
+	snaps := make([]*snapshot, 0, len(c.shards))
+	for _, sh := range c.shards {
+		snaps = append(snaps, sh.snap.Load())
+	}
+	heads := make([]int, len(snaps))
+	out := make([]Stat, 0, n)
+	mergeSnapshotTops(snaps, heads, func(e rankengine.Entry) bool {
+		out = append(out, Stat{ID: e.ID, Popularity: e.Popularity, Birth: e.BirthDay, Aware: true})
+		return len(out) < n
+	})
+	return out
+}
+
+// run is a shard's apply loop: the only goroutine that touches the treap,
+// the zero-awareness pool and the stored stats. It applies each batch,
+// then republishes the snapshot once if ranking state changed.
+func (sh *shard) run() {
+	for req := range sh.ch {
+		dirty := false
+		for _, st := range req.add {
+			if sh.applyAdd(st) {
+				dirty = true
+			}
+		}
+		for _, e := range req.events {
+			if sh.applyEvent(e) {
+				dirty = true
+			}
+		}
+		if dirty {
+			sh.publish()
+		}
+		if req.done != nil {
+			close(req.done)
+		}
+	}
+}
+
+func (sh *shard) applyAdd(st Stat) bool {
+	if _, ok := sh.stats.Load(st.ID); ok {
+		// The index already rejects duplicate ids; a duplicate here would
+		// mean double accounting, so drop defensively.
+		sh.dropped.Add(1)
+		return false
+	}
+	stored := st
+	sh.stats.Store(st.ID, &stored)
+	if st.Aware {
+		sh.treap.Insert(rankengine.Entry{ID: st.ID, Popularity: st.Popularity, BirthDay: st.Birth})
+	} else {
+		sh.poolPos[st.ID] = len(sh.poolIDs)
+		sh.poolIDs = append(sh.poolIDs, st.ID)
+	}
+	return true
+}
+
+func (sh *shard) applyEvent(e Event) bool {
+	v, ok := sh.stats.Load(e.Page)
+	if !ok {
+		sh.dropped.Add(1)
+		return false
+	}
+	// A slot below 1 has no presented position to attribute the counts
+	// to; dropping (rather than applying without telemetry) keeps the
+	// slot table summing to ImpressionsApplied/ClicksApplied.
+	if e.Impressions < 0 || e.Clicks < 0 || e.Slot < 1 {
+		sh.dropped.Add(1)
+		return false
+	}
+	st := *v.(*Stat)
+	st.Impressions += int64(e.Impressions)
+	st.Clicks += int64(e.Clicks)
+	sh.impressions.Add(uint64(e.Impressions))
+	sh.slots.record(e)
+	rankChanged := false
+	if e.Clicks > 0 {
+		st.Popularity += float64(e.Clicks)
+		sh.clicks.Add(uint64(e.Clicks))
+		entry := rankengine.Entry{ID: st.ID, Popularity: st.Popularity, BirthDay: st.Birth}
+		if st.Aware {
+			sh.treap.Update(entry)
+		} else {
+			// First click: the page is now explored — promote it out of
+			// the zero-awareness pool into the deterministic ranking
+			// (§4's selective rule).
+			st.Aware = true
+			sh.removeFromPool(st.ID)
+			sh.treap.Insert(entry)
+		}
+		rankChanged = true
+	}
+	sh.stats.Store(st.ID, &st)
+	return rankChanged
+}
+
+func (sh *shard) removeFromPool(id int) {
+	pos, ok := sh.poolPos[id]
+	if !ok {
+		return
+	}
+	last := len(sh.poolIDs) - 1
+	moved := sh.poolIDs[last]
+	sh.poolIDs[pos] = moved
+	sh.poolPos[moved] = pos
+	sh.poolIDs = sh.poolIDs[:last]
+	delete(sh.poolPos, id)
+}
+
+// publish rebuilds and atomically swaps the shard's snapshot: the treap's
+// top-K in rank order plus a zero-awareness sample. Readers holding the
+// old snapshot keep a consistent view; new readers see the new epoch.
+func (sh *shard) publish() {
+	old := sh.snap.Load()
+	ns := &snapshot{epoch: old.epoch + 1}
+	ns.top = sh.treap.TopK(sh.cfg.TopK, make([]rankengine.Entry, 0, sh.cfg.TopK))
+	n := len(sh.poolIDs)
+	if n <= sh.cfg.PoolCap {
+		ns.pool = append([]int(nil), sh.poolIDs...)
+	} else {
+		// Partial Fisher–Yates over a scratch copy: a fresh uniform
+		// PoolCap-sample each epoch, so capping never starves a page.
+		if cap(sh.scratch) < n {
+			sh.scratch = make([]int, n)
+		}
+		buf := sh.scratch[:n]
+		copy(buf, sh.poolIDs)
+		k := sh.cfg.PoolCap
+		for i := 0; i < k; i++ {
+			j := i + sh.rng.Intn(n-i)
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+		ns.pool = append([]int(nil), buf[:k]...)
+	}
+	sh.snap.Store(ns)
+}

@@ -1,0 +1,225 @@
+// HTTP/JSON front end for the live corpus: POST /rank serves randomized
+// result lists, POST /feedback ingests slot-level impressions and clicks,
+// GET /stats exposes corpus accounting plus the per-slot telemetry that
+// makes promotion evaluable online (position-bias measurement needs
+// impression/click counts per presented position), and GET /healthz is a
+// liveness probe.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// MaxTopN caps the result-list length a single request may ask for.
+const MaxTopN = 1000
+
+// maxBodyBytes caps a request body: a /feedback batch of ~100k events
+// fits comfortably; anything larger is a client bug or abuse.
+const maxBodyBytes = 8 << 20
+
+// Server wraps a Corpus with the HTTP API. Create with NewServer; it
+// implements http.Handler.
+type Server struct {
+	corpus *Corpus
+	mux    *http.ServeMux
+	start  time.Time
+
+	rankRequests     atomic.Uint64
+	feedbackRequests atomic.Uint64
+}
+
+// NewServer builds the HTTP front end for the corpus.
+func NewServer(c *Corpus) *Server {
+	s := &Server{corpus: c, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/rank", s.handleRank)
+	s.mux.HandleFunc("/feedback", s.handleFeedback)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP dispatches to the API endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// RankRequest is the POST /rank body.
+type RankRequest struct {
+	// Query is the conjunctive search query; empty ranks the whole corpus.
+	Query string `json:"query"`
+	// N is the maximum result count (default DefaultTopN, capped at
+	// MaxTopN).
+	N int `json:"n"`
+	// Seed, when non-nil, makes the randomized merge reproducible.
+	Seed *uint64 `json:"seed,omitempty"`
+}
+
+// RankedItem is one slot of a RankResponse.
+type RankedItem struct {
+	Slot       int     `json:"slot"`
+	ID         int     `json:"id"`
+	Popularity float64 `json:"popularity"`
+	Promoted   bool    `json:"promoted"`
+}
+
+// RankResponse is the POST /rank reply.
+type RankResponse struct {
+	Query   string       `json:"query"`
+	Epoch   uint64       `json:"epoch"`
+	Results []RankedItem `json:"results"`
+}
+
+// FeedbackRequest is the POST /feedback body.
+type FeedbackRequest struct {
+	Events []Event `json:"events"`
+}
+
+// FeedbackResponse is the POST /feedback reply.
+type FeedbackResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// SlotStats is one row of the per-position telemetry table.
+type SlotStats struct {
+	Slot        int    `json:"slot"`
+	Impressions uint64 `json:"impressions"`
+	Clicks      uint64 `json:"clicks"`
+}
+
+// StatsResponse is the GET /stats reply.
+type StatsResponse struct {
+	UptimeSeconds      float64     `json:"uptime_seconds"`
+	Shards             int         `json:"shards"`
+	Policy             string      `json:"policy"`
+	RankRequests       uint64      `json:"rank_requests"`
+	FeedbackRequests   uint64      `json:"feedback_requests"`
+	Pages              int         `json:"pages"`
+	Aware              int         `json:"aware"`
+	ZeroAware          int         `json:"zero_aware"`
+	TotalPopularity    float64     `json:"total_popularity"`
+	ImpressionsApplied uint64      `json:"impressions_applied"`
+	ClicksApplied      uint64      `json:"clicks_applied"`
+	Dropped            uint64      `json:"dropped"`
+	Epochs             []uint64    `json:"epochs"`
+	Slots              []SlotStats `json:"slots"`
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req RankRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.N < 0 {
+		httpError(w, http.StatusBadRequest, "n must be >= 0, got %d", req.N)
+		return
+	}
+	if req.N == 0 {
+		req.N = DefaultTopN
+	}
+	if req.N > MaxTopN {
+		req.N = MaxTopN
+	}
+	s.rankRequests.Add(1)
+	var results []Result
+	var err error
+	if req.Seed != nil {
+		results, err = s.corpus.RankSeeded(req.Query, req.N, *req.Seed)
+	} else {
+		results, err = s.corpus.Rank(req.Query, req.N)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := RankResponse{Query: req.Query, Epoch: s.corpus.Epoch(), Results: make([]RankedItem, len(results))}
+	for i, res := range results {
+		resp.Results[i] = RankedItem{Slot: i + 1, ID: res.ID, Popularity: res.Popularity, Promoted: res.Promoted}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	for _, e := range req.Events {
+		if e.Impressions < 0 || e.Clicks < 0 {
+			httpError(w, http.StatusBadRequest,
+				"negative counts for page %d (impressions %d, clicks %d)", e.Page, e.Impressions, e.Clicks)
+			return
+		}
+		if e.Slot < 1 {
+			httpError(w, http.StatusBadRequest, "slot must be >= 1 for page %d, got %d", e.Page, e.Slot)
+			return
+		}
+	}
+	s.feedbackRequests.Add(1)
+	// Slot telemetry is recorded by the apply loops, so the /stats slot
+	// table only ever counts feedback that was actually folded in.
+	s.corpus.Feedback(req.Events)
+	writeJSON(w, http.StatusAccepted, FeedbackResponse{Accepted: len(req.Events)})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	cs := s.corpus.Stats()
+	resp := StatsResponse{
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Shards:             s.corpus.Shards(),
+		Policy:             s.corpus.Policy().String(),
+		RankRequests:       s.rankRequests.Load(),
+		FeedbackRequests:   s.feedbackRequests.Load(),
+		Pages:              cs.Pages,
+		Aware:              cs.Aware,
+		ZeroAware:          cs.ZeroAware,
+		TotalPopularity:    cs.TotalPopularity,
+		ImpressionsApplied: cs.ImpressionsApplied,
+		ClicksApplied:      cs.ClicksApplied,
+		Dropped:            cs.Dropped,
+		Epochs:             cs.Epochs,
+	}
+	// Trim the slot table to the deepest position that saw traffic.
+	last := 0
+	for slot := 1; slot <= SlotTrack; slot++ {
+		if imp, clk := s.corpus.SlotTelemetry(slot); imp > 0 || clk > 0 {
+			last = slot
+		}
+	}
+	for slot := 1; slot <= last; slot++ {
+		imp, clk := s.corpus.SlotTelemetry(slot)
+		resp.Slots = append(resp.Slots, SlotStats{Slot: slot, Impressions: imp, Clicks: clk})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already written; an encode error has nowhere
+	// better to go than the closed connection.
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,73 @@
+package shuffledeck_test
+
+import (
+	"fmt"
+	"testing"
+
+	shuffledeck "repro"
+)
+
+// TestLiveFeedbackLoop exercises the public Live corpus end to end: add
+// documents, serve randomized rankings, ingest clicks, and watch a
+// zero-awareness page get promoted into the deterministic top.
+func TestLiveFeedbackLoop(t *testing.T) {
+	live, err := shuffledeck.NewLive(shuffledeck.LiveOptions{Shards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := live.Add(i, fmt.Sprintf("compilers survey page%d", i), float64(10-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.Add(99, "compilers survey newcomer", 0); err != nil {
+		t.Fatal(err)
+	}
+	live.Sync()
+
+	res, err := live.RankSeeded("compilers survey", 11, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 11 {
+		t.Fatalf("served %d results, want 11", len(res))
+	}
+	sawGem := false
+	for slot, r := range res {
+		if r.ID == 99 {
+			sawGem = true
+			if !r.Promoted {
+				t.Fatalf("zero-awareness page served at slot %d without promotion tag", slot+1)
+			}
+		}
+	}
+	if !sawGem {
+		t.Fatal("11-slot ranking of 11 pages omitted the pool page")
+	}
+
+	live.Feedback([]shuffledeck.LiveEvent{{Page: 99, Slot: 5, Impressions: 1, Clicks: 20}})
+	live.Sync()
+	st, ok := live.Page(99)
+	if !ok || !st.Aware || st.Popularity != 20 {
+		t.Fatalf("newcomer after clicks = %+v ok=%v", st, ok)
+	}
+	if top := live.Top(1); len(top) != 1 || top[0].ID != 99 {
+		t.Fatalf("Top(1) = %+v, want the newcomer at rank 1", top)
+	}
+	stats := live.Stats()
+	if stats.Pages != 11 || stats.ZeroAware != 0 || stats.ClicksApplied != 20 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestLiveRejectsBadPolicy pins option validation.
+func TestLiveRejectsBadPolicy(t *testing.T) {
+	_, err := shuffledeck.NewLive(shuffledeck.LiveOptions{
+		Policy: shuffledeck.Policy{Rule: shuffledeck.RuleSelective, K: 0, R: 2},
+	})
+	if err == nil {
+		t.Fatal("NewLive accepted an invalid policy")
+	}
+}

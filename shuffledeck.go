@@ -35,6 +35,7 @@ import (
 	"repro/internal/livestudy"
 	"repro/internal/quality"
 	"repro/internal/randutil"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -314,3 +315,103 @@ func Figures() []string {
 	}
 	return ids
 }
+
+// LiveOptions sizes a Live corpus. The zero value of every field selects
+// a default (4 shards, top-128 snapshots, the recommended policy).
+type LiveOptions struct {
+	// Shards is the number of popularity shards pages hash into.
+	Shards int
+	// TopK is each shard's deterministic top-list snapshot length.
+	TopK int
+	// PoolCap bounds the zero-awareness sample per shard snapshot.
+	PoolCap int
+	// Policy is the promotion policy applied to every ranking.
+	Policy Policy
+	// Seed drives all service randomness.
+	Seed uint64
+}
+
+// LiveEvent is one slot-level feedback observation for a Live corpus:
+// the page, the 1-based position it was served at, and how many
+// impressions and clicks it received there.
+type LiveEvent = serve.Event
+
+// LiveResult is one served result slot.
+type LiveResult = serve.Result
+
+// LiveStat is a page's current serving state.
+type LiveStat = serve.Stat
+
+// LiveStats is corpus-wide serving accounting.
+type LiveStats = serve.Stats
+
+// Live is a thread-safe online corpus: documents are indexed into
+// popularity shards, Rank serves independently randomized result lists
+// under the configured promotion policy, and Feedback folds real
+// impression/click telemetry back into popularity and awareness — a
+// page's first click promotes it out of the zero-awareness pool, the
+// closed loop the paper argues a live engine should run. Rankings read
+// epoch-swapped shard snapshots lock-free; feedback flows through one
+// single-writer apply loop per shard. All methods are safe for
+// concurrent use, except that Add, Feedback and Sync must not race with
+// or follow Close.
+type Live struct {
+	c *serve.Corpus
+}
+
+// NewLive builds an empty live corpus and starts its shard apply loops.
+// Close it when done.
+func NewLive(opts LiveOptions) (*Live, error) {
+	c, err := serve.NewCorpus(serve.Config{
+		Shards:  opts.Shards,
+		TopK:    opts.TopK,
+		PoolCap: opts.PoolCap,
+		Policy:  opts.Policy,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Live{c: c}, nil
+}
+
+// Add indexes a document. Popularity zero places the page in the
+// zero-awareness promotion pool; a positive score marks it already
+// explored. The page becomes servable once its shard applies the
+// addition (Sync forces that).
+func (l *Live) Add(id int, text string, popularity float64) error {
+	return l.c.Add(id, text, popularity)
+}
+
+// Feedback enqueues slot-level impressions and clicks for asynchronous
+// application. It blocks only under backpressure (a full shard queue).
+func (l *Live) Feedback(events []LiveEvent) { l.c.Feedback(events) }
+
+// Rank serves at most n results for the query (empty = whole corpus),
+// independently randomized per call under the corpus policy.
+func (l *Live) Rank(query string, n int) ([]LiveResult, error) { return l.c.Rank(query, n) }
+
+// RankSeeded is Rank with caller-controlled randomness, for reproducible
+// tests.
+func (l *Live) RankSeeded(query string, n int, seed uint64) ([]LiveResult, error) {
+	return l.c.RankSeeded(query, n, seed)
+}
+
+// Top returns the deterministic (promotion-free) global top-n explored
+// pages — the ranking a conventional engine would serve.
+func (l *Live) Top(n int) []LiveStat { return l.c.Top(n) }
+
+// Page returns a page's current serving state.
+func (l *Live) Page(id int) (LiveStat, bool) { return l.c.Page(id) }
+
+// Sync blocks until all previously enqueued additions and feedback have
+// been applied and published.
+func (l *Live) Sync() { l.c.Sync() }
+
+// Stats aggregates corpus-wide accounting (O(pages); telemetry, not a
+// hot path).
+func (l *Live) Stats() LiveStats { return l.c.Stats() }
+
+// Close drains and stops the shard apply loops. The corpus remains
+// readable afterwards.
+func (l *Live) Close() { l.c.Close() }
