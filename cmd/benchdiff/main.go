@@ -17,15 +17,15 @@
 // The gate fails (exit 1) when a benchmark present in the baseline is
 // missing from the current run, or when its ns/op or allocs/op exceeds
 // baseline·(1+tol) — plus floor-ns of absolute slack for ns/op. The
-// floor absorbs the scheduler/timer noise of single-iteration
-// (-benchtime=1x) measurements, which is roughly constant (tens of µs)
-// rather than proportional: below ~200µs a 1x ns/op reading is mostly
-// noise, so such benchmarks are effectively gated on allocs/op — which
-// -benchtime=1x measures exactly — while ms-scale benchmarks still get a
-// meaningful 25% ns/op gate. Feed the output of several bench runs (CI
-// uses three) into one invocation: a benchmark appearing multiple times
-// keeps its fastest run, the standard noise-robust statistic. New
-// benchmarks absent from the baseline are recorded but not judged.
+// floor absorbs scheduler/timer/GC noise of short (-benchtime=100x)
+// measurements, which is roughly constant (tens of µs amortized) rather
+// than proportional: a single-digit-µs benchmark is effectively gated on
+// allocs/op — exact once the benchmark warms its pools before the timer
+// — while ms-scale benchmarks still get a meaningful 25% ns/op gate.
+// Feed the output of several bench runs (CI uses three) into one
+// invocation: a benchmark appearing multiple times keeps its fastest
+// run, the standard noise-robust statistic. New benchmarks absent from
+// the baseline are recorded but not judged.
 package main
 
 import (

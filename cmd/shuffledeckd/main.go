@@ -20,6 +20,8 @@
 //	-seed        base random seed (default 1)
 //	-pages       synthetic bootstrap corpus size, 0 = start empty (default 1000)
 //	-fresh       fraction of bootstrap pages starting at zero awareness (default 0.1)
+//	-pprof       optional net/http/pprof listen address on a separate
+//	             listener (e.g. localhost:6060); empty disables it
 //
 // The synthetic bootstrap spreads pages over a handful of topics with a
 // Zipf-shaped initial popularity, so the service is immediately
@@ -34,6 +36,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +56,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	pages := flag.Int("pages", 1000, "synthetic bootstrap corpus size (0 = start empty)")
 	fresh := flag.Float64("fresh", 0.1, "fraction of bootstrap pages starting at zero awareness")
+	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address on a separate listener (empty = disabled)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -109,6 +113,23 @@ func main() {
 		st := corpus.Stats()
 		log.Printf("bootstrap: %d pages (%d aware, %d zero-awareness) across %d shards",
 			st.Pages, st.Aware, st.ZeroAware, *shards)
+	}
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: profiling never shares a
+		// port with the public API, so it can stay firewalled separately.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("shuffledeckd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("shuffledeckd: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(corpus)}

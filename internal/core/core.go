@@ -159,10 +159,7 @@ func mergeImpl(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int,
 	rng.ShuffleInts(lp)
 
 	// Step 1: top k−1 of Ld.
-	prefix := k - 1
-	if prefix > nd {
-		prefix = nd
-	}
+	prefix := min(k-1, nd)
 	di := 0
 	for ; di < prefix; di++ {
 		dst = append(dst, det.At(di))
@@ -262,10 +259,7 @@ func NewResolver(det, pool Source, k int, r float64) (*Resolver, error) {
 	}
 	res := &Resolver{det: det, pool: pool, k: k, r: r}
 	nd := det.Len()
-	res.prefix = k - 1
-	if res.prefix > nd {
-		res.prefix = nd
-	}
+	res.prefix = min(k-1, nd)
 	res.dAvail = nd - res.prefix
 	res.pAvail = pool.Len()
 	return res, nil

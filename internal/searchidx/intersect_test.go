@@ -1,0 +1,239 @@
+package searchidx
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/randutil"
+)
+
+// naiveIntersect is the reference pairwise merge the galloping
+// implementation replaced: intersect lists two at a time with a linear
+// two-pointer scan.
+func naiveIntersect(lists [][]uint32) []uint32 {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := append([]uint32(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		var next []uint32
+		i, j := 0, 0
+		for i < len(out) && j < len(l) {
+			switch {
+			case out[i] == l[j]:
+				next = append(next, out[i])
+				i++
+				j++
+			case out[i] < l[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// randomSortedList draws a sorted duplicate-free posting list whose ids
+// fall in [lo, hi).
+func randomSortedList(rng *randutil.RNG, n int, lo, hi uint32) []uint32 {
+	seen := map[uint32]bool{}
+	for len(seen) < n && len(seen) < int(hi-lo) {
+		seen[lo+uint32(rng.Intn(int(hi-lo)))] = true
+	}
+	out := make([]uint32, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func runIntersect(lists [][]uint32) []uint32 {
+	// intersectLists requires lists[0] to exist; callers (RetrieveInto)
+	// never pass zero lists and treat any empty list as an early exit.
+	for _, l := range lists {
+		if len(l) == 0 {
+			return nil
+		}
+	}
+	return intersectLists(nil, lists, make([]int, len(lists)))
+}
+
+func assertSameIDs(t *testing.T, got, want []uint32, context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d ids, want %d (got %v, want %v)", context, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: mismatch at %d: got %v, want %v", context, i, got, want)
+		}
+	}
+}
+
+// TestGallopingMatchesNaiveProperty drives randomized posting lists —
+// varying counts, sizes, and overlap regimes, including empty, disjoint
+// and identical lists — through both the galloping k-way intersection
+// and the naive pairwise reference, asserting identical output.
+func TestGallopingMatchesNaiveProperty(t *testing.T) {
+	rng := randutil.New(20250728)
+	for trial := 0; trial < 400; trial++ {
+		k := 1 + rng.Intn(4)
+		lists := make([][]uint32, k)
+		regime := rng.Intn(4)
+		for i := range lists {
+			switch regime {
+			case 0: // independent random lists over a shared range
+				lists[i] = randomSortedList(rng, rng.Intn(60), 0, 200)
+			case 1: // disjoint ranges: intersection must be empty for k>1
+				lo := uint32(i * 1000)
+				lists[i] = randomSortedList(rng, 1+rng.Intn(30), lo, lo+500)
+			case 2: // fully overlapping: identical lists
+				if i == 0 {
+					lists[i] = randomSortedList(rng, 1+rng.Intn(50), 0, 5000)
+				} else {
+					lists[i] = lists[0]
+				}
+			default: // occasional empty list among dense ones
+				if i == 0 && rng.Bernoulli(0.5) {
+					lists[i] = nil
+				} else {
+					lists[i] = randomSortedList(rng, rng.Intn(80), 0, 120)
+				}
+			}
+		}
+		got := runIntersect(lists)
+		want := naiveIntersect(lists)
+		if len(want) == 0 {
+			want = nil
+		}
+		assertSameIDs(t, got, want, fmt.Sprintf("trial %d regime %d", trial, regime))
+
+		// Order independence: the driver list need not be the rarest.
+		if len(lists) > 1 {
+			rev := make([][]uint32, len(lists))
+			for i := range lists {
+				rev[i] = lists[len(lists)-1-i]
+			}
+			assertSameIDs(t, runIntersect(rev), want, fmt.Sprintf("trial %d reversed", trial))
+		}
+	}
+}
+
+// TestGallopGalloping pins the gallop helper's contract on crafted lists.
+func TestGallopGalloping(t *testing.T) {
+	list := []uint32{2, 4, 4e3, 4e3 + 1, 4e3 + 2, 1e6}
+	cases := []struct {
+		lo     int
+		target uint32
+		want   int
+	}{
+		{0, 0, 0},
+		{0, 2, 0},
+		{0, 3, 1},
+		{0, 4, 1},
+		{0, 5, 2},
+		{2, 4000, 2},
+		{2, 4002, 4},
+		{0, 1e6, 5},
+		{0, 1e6 + 1, 6},
+		{6, 7, 6},
+	}
+	for _, c := range cases {
+		if got := gallop(list, c.lo, c.target); got != c.want {
+			t.Errorf("gallop(lo=%d, target=%d) = %d, want %d", c.lo, c.target, got, c.want)
+		}
+	}
+}
+
+// TestConcurrentRetrieveDuringMutation hammers lock-free Retrieve from
+// several goroutines while a writer continuously deletes and re-adds
+// documents, republishing snapshots. Run under -race this exercises the
+// epoch swap, the delta overlay and the shared posting arrays; the
+// assertions check every retrieval is a well-formed sorted id set drawn
+// from the known universe.
+func TestConcurrentRetrieveDuringMutation(t *testing.T) {
+	const (
+		docs    = 300
+		readers = 4
+		rounds  = 400
+	)
+	ix := NewIndex()
+	text := func(i int) string {
+		s := "alpha shared"
+		if i%2 == 0 {
+			s += " even"
+		}
+		if i%3 == 0 {
+			s += " third"
+		}
+		return fmt.Sprintf("%s doc%d", s, i)
+	}
+	for i := 0; i < docs; i++ {
+		if err := ix.Add(Document{ID: i, Text: text(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := randutil.New(7)
+		for r := 0; r < rounds; r++ {
+			id := rng.Intn(docs)
+			if !ix.Delete(id) {
+				t.Errorf("doc %d missing at delete", id)
+				return
+			}
+			if err := ix.Add(Document{ID: id, Text: text(id)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	queries := []string{"alpha shared", "alpha even", "shared third even", "alpha missingterm"}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastEpoch uint64
+			for r := 0; r < rounds; r++ {
+				snap := ix.Snapshot()
+				if e := snap.Epoch(); e < lastEpoch {
+					t.Errorf("epoch went backwards: %d then %d", lastEpoch, e)
+					return
+				} else {
+					lastEpoch = e
+				}
+				ids := ix.Retrieve(queries[(g+r)%len(queries)])
+				for i, id := range ids {
+					if id < 0 || id >= docs {
+						t.Errorf("retrieved unknown doc %d", id)
+						return
+					}
+					if i > 0 && ids[i-1] >= id {
+						t.Errorf("ids not strictly ascending: %v", ids)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Quiescent again: full-universe queries must see every doc.
+	if got := len(ix.Retrieve("alpha shared")); got != docs {
+		t.Fatalf("after churn, alpha shared matched %d docs, want %d", got, docs)
+	}
+	if ix.Len() != docs {
+		t.Fatalf("Len = %d after churn, want %d", ix.Len(), docs)
+	}
+}

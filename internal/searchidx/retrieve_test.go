@@ -1,6 +1,10 @@
 package searchidx
 
-import "testing"
+import (
+	"math"
+	"strconv"
+	"testing"
+)
 
 func TestRetrieve(t *testing.T) {
 	ix := NewIndex()
@@ -32,5 +36,147 @@ func TestRetrieve(t *testing.T) {
 	got[0] = -7
 	if again := ix.Retrieve("ranking"); again[0] == -7 {
 		t.Fatal("Retrieve aliases postings storage")
+	}
+}
+
+// TestRetrieveEarlyExitAllocs pins the satellite bugfix: a query with an
+// unknown term, a term-free query, or an empty query returns nil without
+// allocating anything — the handler's cheapest possible miss.
+func TestRetrieveEarlyExitAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race, so pooled paths allocate by design")
+	}
+	ix := NewIndex()
+	for i := 0; i < 50; i++ {
+		if err := ix.Add(Document{ID: i, Text: "known words everywhere"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, query := range []string{"", "   ", "!!, ..", "nosuchterm", "known nosuchterm", "nosuchterm known"} {
+		// Warm the scratch pools so the measurement sees steady state.
+		if got := ix.Retrieve(query); got != nil {
+			t.Fatalf("Retrieve(%q) = %v, want nil", query, got)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			if ix.Retrieve(query) != nil {
+				t.Errorf("Retrieve(%q) matched", query)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("Retrieve(%q) allocated %.2f objects per run, want 0", query, allocs)
+		}
+	}
+}
+
+// TestSnapshotEpochAndVisibility checks the RCU contract: every mutation
+// publishes exactly one new epoch, and retrieval against an old snapshot
+// keeps seeing the old postings while the index has moved on.
+func TestSnapshotEpochAndVisibility(t *testing.T) {
+	ix := NewIndex()
+	e0 := ix.Snapshot().Epoch()
+	if err := ix.Add(Document{ID: 1, Text: "stable doc"}); err != nil {
+		t.Fatal(err)
+	}
+	old := ix.Snapshot()
+	if old.Epoch() != e0+1 {
+		t.Fatalf("epoch after Add = %d, want %d", old.Epoch(), e0+1)
+	}
+	if err := ix.Add(Document{ID: 2, Text: "stable doc"}); err != nil {
+		t.Fatal(err)
+	}
+	cur := ix.Snapshot()
+	if cur.Epoch() != e0+2 {
+		t.Fatalf("epoch after second Add = %d, want %d", cur.Epoch(), e0+2)
+	}
+	if got := old.RetrieveInto(nil, "stable"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("old snapshot sees %v, want [1]", got)
+	}
+	if got := cur.RetrieveInto(nil, "stable"); len(got) != 2 {
+		t.Fatalf("new snapshot sees %v, want two docs", got)
+	}
+	if !ix.Delete(1) {
+		t.Fatal("delete failed")
+	}
+	if got := ix.Snapshot().Epoch(); got != e0+3 {
+		t.Fatalf("epoch after Delete = %d, want %d", got, e0+3)
+	}
+	if got := cur.RetrieveInto(nil, "stable"); len(got) != 2 {
+		t.Fatalf("pre-delete snapshot now sees %v, want still two docs", got)
+	}
+}
+
+// TestDeltaFoldKeepsPostings pushes enough distinct terms through the
+// delta overlay to force base folds and checks nothing is lost or
+// resurrected across them.
+func TestDeltaFoldKeepsPostings(t *testing.T) {
+	ix := NewIndex()
+	n := deltaFoldThreshold*3 + 17
+	for i := 0; i < n; i++ {
+		if err := ix.Add(Document{ID: i, Text: "common term" + string(rune('a'+i%26)) + " uniq" + strconv.Itoa(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(ix.Retrieve("common")); got != n {
+		t.Fatalf("common matched %d, want %d", got, n)
+	}
+	for i := 0; i < n; i += 7 {
+		if !ix.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if got := ix.Retrieve("uniq" + strconv.Itoa(i)); got != nil {
+			t.Fatalf("deleted doc %d still retrievable: %v", i, got)
+		}
+	}
+	want := n - (n+6)/7
+	if got := len(ix.Retrieve("common")); got != want {
+		t.Fatalf("after deletes, common matched %d, want %d", got, want)
+	}
+}
+
+func TestAddRejectsOutOfRangeID(t *testing.T) {
+	ix := NewIndex()
+	if err := ix.Add(Document{ID: -1, Text: "negative"}); err == nil {
+		t.Error("negative id accepted")
+	}
+	// Non-constant conversions so the test still compiles where int is
+	// 32 bits (the edge cases themselves only exist on 64-bit ints).
+	var maxU32 int64 = math.MaxUint32
+	if int64(int(maxU32)) != maxU32 {
+		t.Skip("32-bit int cannot represent ids at the uint32 boundary")
+	}
+	if err := ix.Add(Document{ID: int(maxU32) + 1, Text: "too big"}); err == nil {
+		t.Error("id above uint32 range accepted")
+	}
+	if err := ix.Add(Document{ID: int(maxU32), Text: "edge id"}); err != nil {
+		t.Errorf("max uint32 id rejected: %v", err)
+	}
+	if got := ix.Retrieve("edge"); len(got) != 1 || got[0] != int(maxU32) {
+		t.Fatalf("edge doc not retrievable: %v", got)
+	}
+}
+
+func TestNormalizeQuery(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"go ranking", "go ranking"},
+		{"  Go   RANKING!! ", "go ranking"},
+		{"go-ranking", "go ranking"},
+		{"", ""},
+		{" , !", ""},
+		{"päge Ümlaut", "päge ümlaut"},
+		{"a1 b2", "a1 b2"},
+	}
+	for _, c := range cases {
+		if got := NormalizeQuery(c.in); got != c.want {
+			t.Errorf("NormalizeQuery(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Canonical input must come back without allocation.
+	q := "already normal query"
+	if NormalizeQuery(q) != q {
+		t.Fatal("canonical query changed")
+	}
+	allocs := testing.AllocsPerRun(200, func() { _ = NormalizeQuery(q) })
+	if allocs > 0 {
+		t.Errorf("NormalizeQuery on canonical input allocated %.2f objects per run", allocs)
 	}
 }

@@ -8,108 +8,216 @@
 // tagged with topic terms are indexed, a query retrieves the matching
 // community, and results are ordered by popularity with the configured
 // promotion policy applied — the component a real engine would deploy.
+//
+// Concurrency. Mutations (Add, Delete, SetPopularity) are serialized by an
+// internal mutex and publish each change as a new immutable epoch-tagged
+// Snapshot (an RCU swap, the same pattern the serving layer uses for its
+// popularity shards). Retrieval — Retrieve, or Snapshot.RetrieveInto on
+// the hot path — reads the current snapshot with a single atomic load, so
+// concurrent readers never take a lock and never contend with writers.
 package searchidx
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 
 	"repro/internal/core"
 	"repro/internal/randutil"
 )
 
-// Document is an indexable page.
+// Document is an indexable page. IDs must fit in a uint32: postings are
+// stored as compact sorted []uint32 arrays.
 type Document struct {
 	ID   int
 	Text string
 }
 
 // Index is an inverted index over documents with per-document popularity
-// scores. It is not safe for concurrent mutation.
+// scores. All methods are safe for concurrent use; retrieval is lock-free
+// (see the package comment).
 type Index struct {
-	postings map[string][]int // term -> sorted doc ids
-	docs     map[int]Document
-	pop      map[int]float64 // popularity score per doc
-	birth    map[int]int     // insertion sequence, for age tie-breaks
-	seq      int
+	mu     sync.Mutex // serializes mutations and guards the maps below
+	docs   map[int]Document
+	pop    map[int]float64 // popularity score per doc
+	birth  map[int]int     // insertion sequence, for age tie-breaks
+	seq    int
+	nterms int
+	snap   atomicSnapshot
 }
 
 // NewIndex creates an empty index.
 func NewIndex() *Index {
-	return &Index{
-		postings: make(map[string][]int),
-		docs:     make(map[int]Document),
-		pop:      make(map[int]float64),
-		birth:    make(map[int]int),
+	ix := &Index{
+		docs:  make(map[int]Document),
+		pop:   make(map[int]float64),
+		birth: make(map[int]int),
 	}
+	ix.snap.Store(&Snapshot{})
+	return ix
 }
 
 // Tokenize lower-cases and splits text into alphanumeric terms.
 func Tokenize(text string) []string {
-	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
-	})
+	return appendTokens(nil, text)
+}
+
+// appendTokens appends the lower-cased alphanumeric terms of text to dst.
+// When text is already lower-case the terms share its backing storage and
+// the only allocations are dst growth, so pooled callers tokenize free.
+func appendTokens(dst []string, text string) []string {
+	lower := strings.ToLower(text) // returns text itself when already lower
+	start := -1
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+		} else if start >= 0 {
+			dst = append(dst, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, lower[start:])
+	}
+	return dst
 }
 
 // Add indexes a document. Re-adding an existing ID is an error: documents
-// are immutable once indexed (delete and re-add to change).
+// are immutable once indexed (delete and re-add to change). The change is
+// visible to retrieval as soon as Add returns (a new snapshot epoch).
 func (ix *Index) Add(doc Document) error {
-	if _, ok := ix.docs[doc.ID]; ok {
-		return fmt.Errorf("searchidx: document %d already indexed", doc.ID)
+	if doc.ID < 0 || int64(doc.ID) > math.MaxUint32 {
+		return fmt.Errorf("searchidx: document id %d outside uint32 range", doc.ID)
 	}
 	terms := Tokenize(doc.Text)
 	if len(terms) == 0 {
 		return fmt.Errorf("searchidx: document %d has no indexable terms", doc.ID)
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[doc.ID]; ok {
+		return fmt.Errorf("searchidx: document %d already indexed", doc.ID)
+	}
 	ix.docs[doc.ID] = doc
 	ix.birth[doc.ID] = ix.seq
 	ix.seq++
-	seen := map[string]bool{}
-	for _, t := range terms {
-		if seen[t] {
+	id := uint32(doc.ID)
+	cur := ix.snap.Load()
+	delta := cloneDelta(cur.delta, len(terms))
+	for ti, t := range terms {
+		if containsTerm(terms[:ti], t) {
 			continue
 		}
-		seen[t] = true
-		ids := ix.postings[t]
-		pos := sort.SearchInts(ids, doc.ID)
-		ids = append(ids, 0)
-		copy(ids[pos+1:], ids[pos:])
-		ids[pos] = doc.ID
-		ix.postings[t] = ids
+		ids := lookupPostings(cur.base, delta, t)
+		if len(ids) == 0 {
+			ix.nterms++
+		}
+		delta[t] = insertID(ids, id)
 	}
+	ix.publish(cur, delta)
 	return nil
 }
 
 // Delete removes a document. It reports whether the document existed.
 func (ix *Index) Delete(id int) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	doc, ok := ix.docs[id]
 	if !ok {
 		return false
 	}
-	for _, t := range Tokenize(doc.Text) {
-		ids := ix.postings[t]
-		pos := sort.SearchInts(ids, id)
-		if pos < len(ids) && ids[pos] == id {
-			ix.postings[t] = append(ids[:pos], ids[pos+1:]...)
-			if len(ix.postings[t]) == 0 {
-				delete(ix.postings, t)
-			}
+	terms := Tokenize(doc.Text)
+	cur := ix.snap.Load()
+	delta := cloneDelta(cur.delta, len(terms))
+	for ti, t := range terms {
+		if containsTerm(terms[:ti], t) {
+			continue
 		}
+		ids := lookupPostings(cur.base, delta, t)
+		pos := searchU32(ids, uint32(id))
+		if pos == len(ids) || ids[pos] != uint32(id) {
+			continue
+		}
+		if len(ids) == 1 {
+			// Tombstone: an empty (non-nil) delta entry hides the base list.
+			delta[t] = []uint32{}
+			ix.nterms--
+			continue
+		}
+		trimmed := make([]uint32, len(ids)-1)
+		copy(trimmed, ids[:pos])
+		copy(trimmed[pos:], ids[pos+1:])
+		delta[t] = trimmed
 	}
 	delete(ix.docs, id)
 	delete(ix.pop, id)
 	delete(ix.birth, id)
+	ix.publish(cur, delta)
 	return true
 }
 
+// containsTerm reports whether t already occurred among the earlier terms
+// of a document or query; a linear scan beats a map for the handful of
+// terms a document carries, and allocates nothing.
+func containsTerm(terms []string, t string) bool {
+	for _, u := range terms {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+// insertID returns ids with id inserted in sorted position. The common
+// append-at-end case reuses spare capacity: published snapshots only ever
+// cover the prefix that existed when they were taken, so writing one slot
+// past every published length races with no reader.
+func insertID(ids []uint32, id uint32) []uint32 {
+	pos := searchU32(ids, id)
+	if pos == len(ids) {
+		return append(ids, id)
+	}
+	if ids[pos] == id {
+		return ids
+	}
+	grown := make([]uint32, len(ids)+1)
+	copy(grown, ids[:pos])
+	grown[pos] = id
+	copy(grown[pos+1:], ids[pos:])
+	return grown
+}
+
+// searchU32 returns the smallest index i with ids[i] >= id (binary search).
+func searchU32(ids []uint32, id uint32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Len returns the number of indexed documents.
-func (ix *Index) Len() int { return len(ix.docs) }
+func (ix *Index) Len() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.docs)
+}
 
 // SetPopularity records a document's current popularity score (in-link
 // count, PageRank, visit count — whatever measure the engine uses).
 func (ix *Index) SetPopularity(id int, score float64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if _, ok := ix.docs[id]; !ok {
 		return fmt.Errorf("searchidx: unknown document %d", id)
 	}
@@ -118,72 +226,40 @@ func (ix *Index) SetPopularity(id int, score float64) error {
 }
 
 // Popularity returns a document's score (zero if never set).
-func (ix *Index) Popularity(id int) float64 { return ix.pop[id] }
+func (ix *Index) Popularity(id int) float64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.pop[id]
+}
 
 // Retrieve returns the ids of the documents matching every query term
 // (conjunctive AND), in ascending id order, without ranking them. It is
 // the candidate-set hook for callers that keep popularity elsewhere — the
 // serving layer retrieves here and ranks against its own live shard
-// statistics. The returned slice is freshly allocated.
-func (ix *Index) Retrieve(query string) []int { return ix.retrieve(query) }
-
-// retrieve returns the ids matching every query term (conjunctive).
-func (ix *Index) retrieve(query string) []int {
-	terms := Tokenize(query)
-	if len(terms) == 0 {
+// statistics. The returned slice is freshly allocated; when no document
+// matches — including when a term has no postings or the query tokenizes
+// to zero terms — Retrieve returns nil without allocating at all. Callers
+// on a per-request hot path should prefer Snapshot().RetrieveInto, which
+// reuses a caller-owned buffer.
+func (ix *Index) Retrieve(query string) []int {
+	s := ix.snap.Load()
+	bufp := idsPool.Get().(*[]uint32)
+	ids := s.RetrieveInto((*bufp)[:0], query)
+	if len(ids) == 0 {
+		*bufp = ids
+		idsPool.Put(bufp)
 		return nil
 	}
-	// Intersect postings, shortest first.
-	lists := make([][]int, 0, len(terms))
-	seen := map[string]bool{}
-	for _, t := range terms {
-		if seen[t] {
-			continue
-		}
-		seen[t] = true
-		ids, ok := ix.postings[t]
-		if !ok {
-			return nil
-		}
-		lists = append(lists, ids)
+	out := make([]int, len(ids))
+	for i, v := range ids {
+		out[i] = int(v)
 	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
-	result := lists[0]
-	for _, l := range lists[1:] {
-		result = intersect(result, l)
-		if len(result) == 0 {
-			return nil
-		}
-	}
-	// Copy so callers cannot alias postings storage.
-	return append([]int(nil), result...)
-}
-
-// intersect merges two sorted id lists.
-func intersect(a, b []int) []int {
-	out := make([]int, 0, min(len(a), len(b)))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
+	*bufp = ids
+	idsPool.Put(bufp)
 	return out
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
+var idsPool = sync.Pool{New: func() any { return new([]uint32) }}
 
 // Result is one ranked search hit.
 type Result struct {
@@ -204,10 +280,12 @@ func (ix *Index) Search(query string, policy core.Policy, rng *randutil.RNG) ([]
 	if rng == nil {
 		return nil, fmt.Errorf("searchidx: nil rng")
 	}
-	ids := ix.retrieve(query)
+	ids := ix.Retrieve(query)
 	if len(ids) == 0 {
 		return nil, nil
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	// Rank deterministically.
 	sort.Slice(ids, func(a, b int) bool {
 		pa, pb := ix.pop[ids[a]], ix.pop[ids[b]]
@@ -254,4 +332,8 @@ func (ix *Index) Search(query string, policy core.Policy, rng *randutil.RNG) ([]
 }
 
 // Terms returns the number of distinct indexed terms.
-func (ix *Index) Terms() int { return len(ix.postings) }
+func (ix *Index) Terms() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.nterms
+}

@@ -1,0 +1,254 @@
+// Snapshot publication and lock-free conjunctive retrieval: the index's
+// postings live in immutable epoch-swapped snapshots, and queries resolve
+// by rarest-first galloping (exponential-search) intersection of compact
+// sorted []uint32 posting arrays, into caller- or pool-owned scratch.
+package searchidx
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unicode"
+)
+
+// atomicSnapshot is the RCU publication point for the index.
+type atomicSnapshot = atomic.Pointer[Snapshot]
+
+// Snapshot is an immutable point-in-time view of the index's postings.
+// Postings are held two-level: a large base map plus a small delta overlay
+// carrying every term touched since the last fold, so each mutation clones
+// only the overlay (O(delta), not O(terms)) and readers pay at most two
+// map probes per term. An empty (non-nil) delta entry is a tombstone
+// hiding a deleted base term.
+type Snapshot struct {
+	epoch uint64
+	base  map[string][]uint32
+	delta map[string][]uint32
+}
+
+// deltaFoldThreshold is the overlay size at which a mutation folds the
+// delta into a fresh base map. Small enough that per-mutation clones stay
+// cheap, large enough that the O(terms) fold is rare.
+const deltaFoldThreshold = 256
+
+// Epoch returns the snapshot's publication epoch. It increases by exactly
+// one per index mutation, so it keys caches of retrieval results.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// postings returns the term's posting list in this snapshot (nil or empty
+// when the term matches no document).
+func (s *Snapshot) postings(term string) []uint32 {
+	if ids, ok := s.delta[term]; ok {
+		return ids
+	}
+	return s.base[term]
+}
+
+// Snapshot returns the current immutable index view: a single atomic
+// load, safe to call concurrently with any mutation.
+func (ix *Index) Snapshot() *Snapshot { return ix.snap.Load() }
+
+// cloneDelta copies the overlay so the published snapshot stays immutable
+// while the writer applies its updates.
+func cloneDelta(delta map[string][]uint32, extra int) map[string][]uint32 {
+	out := make(map[string][]uint32, len(delta)+extra)
+	for k, v := range delta {
+		out[k] = v
+	}
+	return out
+}
+
+// lookupPostings is the writer-side view of a term across base and a
+// working delta.
+func lookupPostings(base, delta map[string][]uint32, term string) []uint32 {
+	if ids, ok := delta[term]; ok {
+		return ids
+	}
+	return base[term]
+}
+
+// publish swaps in the next snapshot, folding the delta into a new base
+// map once it outgrows the threshold. Callers hold ix.mu.
+func (ix *Index) publish(cur *Snapshot, delta map[string][]uint32) {
+	ns := &Snapshot{epoch: cur.epoch + 1, base: cur.base, delta: delta}
+	if len(delta) > deltaFoldThreshold {
+		base := make(map[string][]uint32, len(cur.base)+len(delta))
+		for k, v := range cur.base {
+			base[k] = v
+		}
+		for k, v := range delta {
+			if len(v) == 0 {
+				delete(base, k)
+			} else {
+				base[k] = v
+			}
+		}
+		ns.base, ns.delta = base, nil
+	}
+	ix.snap.Store(ns)
+}
+
+// queryScratch is the per-retrieval working set, pooled so a steady-state
+// retrieval allocates nothing.
+type queryScratch struct {
+	terms   []string
+	lists   [][]uint32
+	cursors []int
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func (qs *queryScratch) release() {
+	// Drop references so the pool does not pin query strings or whole
+	// posting arrays between requests.
+	clear(qs.terms)
+	clear(qs.lists)
+	queryScratchPool.Put(qs)
+}
+
+// RetrieveInto appends the ids of the documents matching every query term
+// (conjunctive AND) to dst, in ascending id order, and returns the
+// extended slice. Terms are intersected rarest-first with a galloping
+// cursor advance, streaming directly into dst; internal scratch comes
+// from a sync.Pool, so the only allocation is dst growth. When any term
+// has no postings, or the query tokenizes to zero terms, dst is returned
+// unchanged without allocating.
+func (s *Snapshot) RetrieveInto(dst []uint32, query string) []uint32 {
+	qs := queryScratchPool.Get().(*queryScratch)
+	defer qs.release()
+	terms := appendTokens(qs.terms[:0], query)
+	qs.terms = terms
+	if len(terms) == 0 {
+		return dst
+	}
+	lists := qs.lists[:0]
+	for ti, t := range terms {
+		if containsTerm(terms[:ti], t) {
+			continue
+		}
+		ids := s.postings(t)
+		if len(ids) == 0 {
+			qs.lists = lists
+			return dst
+		}
+		lists = append(lists, ids)
+	}
+	qs.lists = lists
+	// Rarest term first: it drives the intersection, and every other
+	// cursor only ever gallops forward. Insertion sort — term counts are
+	// tiny and sort.Slice would allocate.
+	for i := 1; i < len(lists); i++ {
+		for j := i; j > 0 && len(lists[j]) < len(lists[j-1]); j-- {
+			lists[j], lists[j-1] = lists[j-1], lists[j]
+		}
+	}
+	if len(lists) == 1 {
+		return append(dst, lists[0]...)
+	}
+	cursors := qs.cursors[:0]
+	for range lists {
+		cursors = append(cursors, 0)
+	}
+	qs.cursors = cursors
+	return intersectLists(dst, lists, cursors)
+}
+
+// intersectLists appends the k-way intersection of the sorted lists to
+// dst. lists[0] (the rarest) drives: each of its ids is located in every
+// other list by galloping from that list's cursor, so the total work is
+// O(Σ log(gap)) — bounded by the rarest list, not the largest.
+func intersectLists(dst []uint32, lists [][]uint32, cursors []int) []uint32 {
+	rare := lists[0]
+outer:
+	for _, v := range rare {
+		for li := 1; li < len(lists); li++ {
+			l := lists[li]
+			j := gallop(l, cursors[li], v)
+			cursors[li] = j
+			if j == len(l) {
+				// This list is exhausted; no larger id can match.
+				return dst
+			}
+			if l[j] != v {
+				continue outer
+			}
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// gallop returns the smallest index j in [lo, len(list)] with
+// list[j] >= target: an exponential search from lo followed by a binary
+// search inside the located window, O(log distance) instead of O(log n).
+func gallop(list []uint32, lo int, target uint32) int {
+	n := len(list)
+	if lo >= n || list[lo] >= target {
+		return lo
+	}
+	// Invariant below: list[lo] < target.
+	step := 1
+	hi := lo + step
+	for hi < n && list[hi] < target {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > n {
+		hi = n
+	}
+	// list[lo] < target <= list[hi] (or hi == n).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// NormalizeQuery returns the query's canonical retrieval form: its
+// lower-cased terms joined by single spaces. Two queries with equal
+// normal forms retrieve identical candidate sets, so the normal form
+// keys query caches. When the query is already canonical it is returned
+// unchanged, without allocating — the hot-path case.
+func NormalizeQuery(query string) string {
+	if isNormalQuery(query) {
+		return query
+	}
+	qs := queryScratchPool.Get().(*queryScratch)
+	terms := appendTokens(qs.terms[:0], query)
+	qs.terms = terms
+	out := strings.Join(terms, " ")
+	qs.release()
+	return out
+}
+
+// isNormalQuery reports whether query is already in canonical form:
+// non-empty, all alphanumeric lower-case terms separated by exactly one
+// space, with no leading or trailing space.
+func isNormalQuery(query string) bool {
+	if query == "" {
+		return false
+	}
+	prevSpace := true // a space at position 0 is a leading space
+	for _, r := range query {
+		if r == ' ' {
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+			continue
+		}
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+			return false
+		}
+		if unicode.ToLower(r) != r {
+			return false
+		}
+		prevSpace = false
+	}
+	return !prevSpace
+}

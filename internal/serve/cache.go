@@ -1,0 +1,79 @@
+// Hot-query candidate cache: deterministic retrieval work (conjunctive
+// intersection, stat lookups, top-K selection) is reused across requests
+// for the same normalized query, while every request still performs its
+// own randomized promotion draws — the paper's exploration semantics are
+// per-request and the cache must not change a single RNG draw.
+//
+// An entry is valid only while both epochs it was built under still
+// hold: the search-index snapshot epoch (document set unchanged) and the
+// corpus epoch (sum of shard snapshot epochs — no rank-changing feedback
+// applied). Any mutation bumps one of them, so a stale entry simply
+// misses and is rebuilt; entries are never served across a change.
+package serve
+
+import "sync"
+
+// queryCacheEntry is one cached candidate assembly.
+type queryCacheEntry struct {
+	idxEpoch uint64 // searchidx snapshot epoch at build
+	srvEpoch uint64 // corpus (summed shard) epoch at build
+	n        int    // det holds the top-n deterministic candidates
+	full     bool   // det holds every deterministic match (fewer than n)
+	det      []int  // deterministic candidates, best rank first
+	pool     []int  // every zero-awareness match, ascending id
+}
+
+// covers reports whether the entry can serve a request for m results at
+// the given epochs: the deterministic prefix it stores must be at least
+// as long as the request needs (or complete), and nothing changed since.
+func (e *queryCacheEntry) covers(m int, idxEpoch, srvEpoch uint64) bool {
+	return e.idxEpoch == idxEpoch && e.srvEpoch == srvEpoch &&
+		(m <= e.n || e.full)
+}
+
+// queryCache is a bounded map from normalized query to its candidate
+// entry. Reads take a shared lock (no allocation — a sync.Map would box
+// the string key per lookup); writes replace whole entries. When full, an
+// arbitrary entry is evicted (map iteration order), which is cheap and
+// unbiased enough for a hot-query set that is much smaller than the cap.
+type queryCache struct {
+	mu sync.RWMutex
+	n  int // capacity in entries
+	m  map[string]*queryCacheEntry
+}
+
+func newQueryCache(n int) *queryCache {
+	return &queryCache{n: n, m: make(map[string]*queryCacheEntry, n)}
+}
+
+// get returns the entry for the normalized query when it covers a request
+// for m results at the current epochs, else nil.
+func (qc *queryCache) get(nq string, m int, idxEpoch, srvEpoch uint64) *queryCacheEntry {
+	qc.mu.RLock()
+	e := qc.m[nq]
+	qc.mu.RUnlock()
+	if e == nil || !e.covers(m, idxEpoch, srvEpoch) {
+		return nil
+	}
+	return e
+}
+
+// put stores (or replaces) the entry for the normalized query.
+func (qc *queryCache) put(nq string, e *queryCacheEntry) {
+	qc.mu.Lock()
+	if _, ok := qc.m[nq]; !ok && len(qc.m) >= qc.n {
+		for k := range qc.m {
+			delete(qc.m, k)
+			break
+		}
+	}
+	qc.m[nq] = e
+	qc.mu.Unlock()
+}
+
+// len returns the number of cached entries (telemetry).
+func (qc *queryCache) len() int {
+	qc.mu.RLock()
+	defer qc.mu.RUnlock()
+	return len(qc.m)
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestAppendRankResponseMatchesEncodingJSON round-trips the append-based
+// encoder's output through encoding/json and compares it to the struct
+// encoding/json would have produced, over awkward queries (escapes,
+// unicode, invalid UTF-8) and awkward popularity values (subnormals,
+// huge magnitudes that switch to exponent form).
+func TestAppendRankResponseMatchesEncodingJSON(t *testing.T) {
+	queries := []string{
+		"",
+		"plain query",
+		`quo"ted\back`,
+		"tabs\tand\nnewlines\rhere",
+		"control\x01char",
+		"ünïcode 検索",
+		"bad\xffutf8",
+		"line seps too",
+		"<script>alert(1)</script> & friends",
+	}
+	pops := [][]float64{
+		{0, 1, 2.5},
+		{0.1, 1e-7, 123456789.125},
+		{1e21, 5e-300, math.MaxFloat64},
+		{3, 1e20, 7e-7},
+	}
+	for qi, q := range queries {
+		results := make([]Result, len(pops[qi%len(pops)]))
+		for i, p := range pops[qi%len(pops)] {
+			results[i] = Result{ID: i*7 - 3, Popularity: p, Promoted: i%2 == 0}
+		}
+		got := appendRankResponse(nil, q, uint64(qi)*17, results)
+
+		var decoded RankResponse
+		if err := json.Unmarshal(got, &decoded); err != nil {
+			t.Fatalf("query %q: encoder produced invalid JSON %q: %v", q, got, err)
+		}
+		want := RankResponse{Query: q, Epoch: uint64(qi) * 17, Results: make([]RankedItem, len(results))}
+		for i, res := range results {
+			want.Results[i] = RankedItem{Slot: i + 1, ID: res.ID, Popularity: res.Popularity, Promoted: res.Promoted}
+		}
+		// Invalid UTF-8 is replaced with U+FFFD by both encoders, so
+		// compare against what encoding/json round-trips to.
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The wire bytes must match encoding/json exactly (Marshal plus the
+		// trailing newline json.Encoder.Encode used to emit), so swapping
+		// encoders is invisible even to byte-level consumers.
+		if want := string(wantJSON) + "\n"; string(got) != want {
+			t.Fatalf("query %q: wire bytes differ:\n got %q\nwant %q", q, got, want)
+		}
+		var wantDecoded RankResponse
+		if err := json.Unmarshal(wantJSON, &wantDecoded); err != nil {
+			t.Fatal(err)
+		}
+		if decoded.Query != wantDecoded.Query || decoded.Epoch != wantDecoded.Epoch {
+			t.Fatalf("query %q: header decoded as %+v, want %+v", q, decoded, wantDecoded)
+		}
+		if len(decoded.Results) != len(wantDecoded.Results) {
+			t.Fatalf("query %q: %d results, want %d", q, len(decoded.Results), len(wantDecoded.Results))
+		}
+		for i := range decoded.Results {
+			if decoded.Results[i] != wantDecoded.Results[i] {
+				t.Fatalf("query %q result %d: %+v, want %+v", q, i, decoded.Results[i], wantDecoded.Results[i])
+			}
+		}
+	}
+}
+
+// TestAppendJSONFloatMatchesEncodingJSON pins the float format byte for
+// byte against encoding/json across the regime boundaries it special-
+// cases.
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	values := []float64{
+		0, 1, -1, 0.5, 2.75, 1e-6, 9.9e-7, 1e-7, 1e20, 1e21, 2e21,
+		123456.789, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		-3.14159265358979, 1e300, 5e-300,
+	}
+	for _, v := range values {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, v); string(got) != string(want) {
+			t.Errorf("appendJSONFloat(%g) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+// TestAppendFeedbackResponse pins the /feedback reply shape.
+func TestAppendFeedbackResponse(t *testing.T) {
+	var resp FeedbackResponse
+	if err := json.Unmarshal(appendFeedbackResponse(nil, 42), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 42 {
+		t.Fatalf("accepted = %d, want 42", resp.Accepted)
+	}
+}

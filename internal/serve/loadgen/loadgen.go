@@ -1,5 +1,7 @@
 // Package loadgen drives the ranking service's HTTP API with simulated
-// users and measures it: sustained QPS and p50/p90/p99 rank latency.
+// users and measures it: sustained QPS and p50/p90/p99 rank latency,
+// optionally split between the id-ranking (browse) path and the
+// search-query path when a mixed workload is configured (Config.Queries).
 //
 // Each simulated user issues POST /rank, scans the returned list with the
 // paper's rank-bias attention law (§5.3: position i draws attention
@@ -40,6 +42,15 @@ type Config struct {
 	Requests int
 	// Query is sent with every rank request ("" ranks the whole corpus).
 	Query string
+	// Queries enables a mixed workload: with probability QueryFraction a
+	// rank request takes the query path using a query drawn uniformly
+	// from Queries; otherwise it sends Query (usually "", the id-ranking
+	// browse path). The report then carries per-path latency percentiles
+	// alongside the overall ones.
+	Queries []string
+	// QueryFraction is the probability a request uses Queries (default
+	// 0.5 when Queries is non-empty, ignored otherwise).
+	QueryFraction float64
 	// N is the result-list length requested (default serve.DefaultTopN).
 	N int
 	// Quality maps a page id to the probability a visiting user clicks it
@@ -71,7 +82,17 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if len(c.Queries) > 0 && c.QueryFraction == 0 {
+		c.QueryFraction = 0.5
+	}
 	return c
+}
+
+// PathReport carries one request path's latency percentiles.
+type PathReport struct {
+	Requests      int
+	P50, P90, P99 time.Duration
+	Max           time.Duration
 }
 
 // Report is the outcome of a load run.
@@ -85,14 +106,26 @@ type Report struct {
 	QPS           float64       // completed rank requests per second
 	P50, P90, P99 time.Duration // rank request latency percentiles
 	Max           time.Duration
+	// Browse and Query split the latency measurements by request path
+	// when a mixed workload (Config.Queries) runs: Browse covers the
+	// id-ranking path (Config.Query, usually the whole corpus), Query
+	// covers the search-query path.
+	Browse, Query PathReport
 }
 
 // String renders the report as a compact human-readable block.
 func (r *Report) String() string {
-	return fmt.Sprintf(
-		"requests %d (errors %d) in %v — %.0f QPS\nrank latency p50 %v  p90 %v  p99 %v  max %v\nfeedback: %d posts, %d impressions, %d clicks",
+	s := fmt.Sprintf(
+		"requests %d (errors %d) in %v — %.0f QPS\nrank latency p50 %v  p90 %v  p99 %v  max %v",
 		r.Requests, r.Errors, r.Duration.Round(time.Millisecond), r.QPS,
-		r.P50, r.P90, r.P99, r.Max,
+		r.P50, r.P90, r.P99, r.Max)
+	if r.Query.Requests > 0 {
+		s += fmt.Sprintf(
+			"\nbrowse path (%d): p50 %v  p99 %v  max %v\nquery path  (%d): p50 %v  p99 %v  max %v",
+			r.Browse.Requests, r.Browse.P50, r.Browse.P99, r.Browse.Max,
+			r.Query.Requests, r.Query.P50, r.Query.P99, r.Query.Max)
+	}
+	return s + fmt.Sprintf("\nfeedback: %d posts, %d impressions, %d clicks",
 		r.FeedbackPosts, r.Impressions, r.Clicks)
 }
 
@@ -102,7 +135,8 @@ type worker struct {
 	att     *attention.Model
 	pending []serve.Event
 
-	latencies []time.Duration
+	latencies []time.Duration // browse-path samples
+	queryLats []time.Duration // query-path samples
 	report    Report
 }
 
@@ -136,26 +170,43 @@ func Run(cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	total := &Report{Duration: time.Since(start)}
-	var lat []time.Duration
+	var browse, query []time.Duration
 	for _, w := range workers {
 		total.Requests += w.report.Requests
 		total.Errors += w.report.Errors
 		total.FeedbackPosts += w.report.FeedbackPosts
 		total.Impressions += w.report.Impressions
 		total.Clicks += w.report.Clicks
-		lat = append(lat, w.latencies...)
+		browse = append(browse, w.latencies...)
+		query = append(query, w.queryLats...)
 	}
 	if total.Duration > 0 {
 		total.QPS = float64(total.Requests) / total.Duration.Seconds()
 	}
-	if len(lat) > 0 {
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		total.P50 = percentile(lat, 0.50)
-		total.P90 = percentile(lat, 0.90)
-		total.P99 = percentile(lat, 0.99)
-		total.Max = lat[len(lat)-1]
+	all := make([]time.Duration, 0, len(browse)+len(query))
+	all = append(all, browse...)
+	all = append(all, query...)
+	if len(all) > 0 {
+		overall := pathStats(all)
+		total.P50, total.P90, total.P99, total.Max = overall.P50, overall.P90, overall.P99, overall.Max
 	}
+	total.Browse = pathStats(browse)
+	total.Query = pathStats(query)
 	return total, nil
+}
+
+// pathStats sorts the samples in place and summarizes them.
+func pathStats(lat []time.Duration) PathReport {
+	pr := PathReport{Requests: len(lat)}
+	if len(lat) == 0 {
+		return pr
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pr.P50 = percentile(lat, 0.50)
+	pr.P90 = percentile(lat, 0.90)
+	pr.P99 = percentile(lat, 0.99)
+	pr.Max = lat[len(lat)-1]
+	return pr
 }
 
 // percentile reads the p-quantile from an ascending-sorted sample.
@@ -166,7 +217,11 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 func (w *worker) run(requests int) {
 	for i := 0; i < requests; i++ {
-		items, err := w.rank()
+		query, isQuery := w.cfg.Query, false
+		if len(w.cfg.Queries) > 0 && w.rng.Bernoulli(w.cfg.QueryFraction) {
+			query, isQuery = w.cfg.Queries[w.rng.Intn(len(w.cfg.Queries))], true
+		}
+		items, err := w.rank(query, isQuery)
 		if err != nil {
 			w.report.Errors++
 			continue
@@ -180,8 +235,8 @@ func (w *worker) run(requests int) {
 	w.flush()
 }
 
-func (w *worker) rank() ([]serve.RankedItem, error) {
-	body, err := json.Marshal(serve.RankRequest{Query: w.cfg.Query, N: w.cfg.N})
+func (w *worker) rank(query string, isQuery bool) ([]serve.RankedItem, error) {
+	body, err := json.Marshal(serve.RankRequest{Query: query, N: w.cfg.N})
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +256,11 @@ func (w *worker) rank() ([]serve.RankedItem, error) {
 	}
 	// Only successful, fully decoded requests contribute latency
 	// samples; Report.Requests counts exactly these.
-	w.latencies = append(w.latencies, time.Since(start))
+	if isQuery {
+		w.queryLats = append(w.queryLats, time.Since(start))
+	} else {
+		w.latencies = append(w.latencies, time.Since(start))
+	}
 	return rr.Results, nil
 }
 

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/serve"
@@ -118,5 +119,64 @@ func TestLoadRunPromotesPlantedGem(t *testing.T) {
 func TestRunValidatesConfig(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("Run accepted empty BaseURL")
+	}
+}
+
+// TestMixedQueryWorkload runs the query-mode workload: a fraction of
+// requests exercise the search-query path and the report must carry
+// per-path latency percentiles for both paths.
+func TestMixedQueryWorkload(t *testing.T) {
+	c, err := serve.NewCorpus(serve.Config{Shards: 2, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	topics := []string{"golang concurrency", "ranking randomization"}
+	for i := 0; i < 40; i++ {
+		text := fmt.Sprintf("%s page%d", topics[i%len(topics)], i)
+		if err := c.Add(i, text, float64(40-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	srv := httptest.NewServer(serve.NewServer(c))
+	defer srv.Close()
+
+	report, err := Run(Config{
+		BaseURL:       srv.URL,
+		Workers:       3,
+		Requests:      300,
+		N:             10,
+		Seed:          7,
+		Queries:       topics,
+		QueryFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("mixed run had %d errors: %v", report.Errors, report)
+	}
+	if got := report.Browse.Requests + report.Query.Requests; got != report.Requests || got != 300 {
+		t.Fatalf("path split %d+%d != total %d",
+			report.Browse.Requests, report.Query.Requests, report.Requests)
+	}
+	// At fraction 0.5 over 300 requests, both paths are virtually certain
+	// to be exercised.
+	if report.Browse.Requests == 0 || report.Query.Requests == 0 {
+		t.Fatalf("a path went unexercised: %+v", report)
+	}
+	for _, pr := range []PathReport{report.Browse, report.Query} {
+		if pr.P50 <= 0 || pr.P99 < pr.P50 || pr.Max < pr.P99 {
+			t.Fatalf("implausible path percentiles: %+v", pr)
+		}
+	}
+	if s := report.String(); !strings.Contains(s, "query path") {
+		t.Fatalf("report omits query-path breakdown:\n%s", s)
+	}
+	// The repeated topic queries must be served from the hot-query cache
+	// between feedback flushes.
+	if st := c.Stats(); st.QueryCacheHits == 0 {
+		t.Fatalf("query workload never hit the candidate cache: %+v", st)
 	}
 }

@@ -16,14 +16,20 @@
 // deterministic top-K list and a bounded sample of the zero-awareness
 // pool, republished atomically after every batch that changes ranking
 // state, and a sync.Map of immutable per-page Stat values replaced (never
-// mutated) by the apply loop. A /rank request is therefore lock-free
-// reads plus one promotion-sampling merge pass; /feedback is a channel
-// send per shard.
+// mutated) by the apply loop. The search index publishes its postings the
+// same way (an immutable epoch-swapped snapshot inside searchidx), so the
+// query path holds no lock either: conjunctive retrieval gallops over the
+// index snapshot into pooled scratch, top-K selection runs a bounded heap
+// over the candidate stream, and a hot-query cache keyed by (normalized
+// query, index epoch, corpus epoch) reuses the deterministic candidate
+// assembly across requests — the randomized promotion draw stays
+// per-request, with an RNG draw sequence identical to the uncached path.
+// A /rank request is therefore lock-free reads plus one
+// promotion-sampling merge pass; /feedback is a channel send per shard.
 package serve
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -76,6 +82,11 @@ type Config struct {
 	// QueueLen is each shard's feedback-queue capacity in batches
 	// (default 64). Senders block when it fills: backpressure, not loss.
 	QueueLen int
+	// QueryCacheSize bounds the hot-query candidate cache in entries
+	// (default 256). Negative disables the cache. The cache reuses a
+	// query's deterministic candidate assembly while the corpus is
+	// unchanged; promotion randomness stays per-request either way.
+	QueryCacheSize int
 	// Policy is the promotion policy applied per query. The zero Policy is
 	// replaced by core.Recommended().
 	Policy core.Policy
@@ -96,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueLen <= 0 {
 		c.QueueLen = 64
+	}
+	if c.QueryCacheSize == 0 {
+		c.QueryCacheSize = 256
 	}
 	if c.Policy == (core.Policy{}) {
 		c.Policy = core.Recommended()
@@ -155,6 +169,12 @@ type Stats struct {
 	// Epochs holds each shard's snapshot epoch (how many times its
 	// top-list has been republished).
 	Epochs []uint64
+	// QueryCacheHits, QueryCacheMisses and QueryCacheEntries describe the
+	// hot-query candidate cache (all zero when it is disabled). A miss is
+	// any cacheable query request that had to rebuild its candidates.
+	QueryCacheHits    uint64
+	QueryCacheMisses  uint64
+	QueryCacheEntries int
 }
 
 // applyReq is one message to a shard's apply loop.
@@ -203,9 +223,13 @@ type Corpus struct {
 	slots  slotCounters
 	wg     sync.WaitGroup
 
-	idxMu sync.RWMutex
+	idxMu sync.Mutex // serializes Add's index insert + birth-seq pairing
 	idx   *searchidx.Index
 	seq   int // birth sequence, guarded by idxMu
+
+	qcache      *queryCache // nil when disabled
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 
 	reqSeq  atomic.Uint64
 	scratch sync.Pool // *reqScratch
@@ -219,6 +243,9 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex()}
+	if cfg.QueryCacheSize > 0 {
+		c.qcache = newQueryCache(cfg.QueryCacheSize)
+	}
 	c.scratch.New = func() any {
 		return &reqScratch{
 			rng:   randutil.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * (1 + c.reqSeq.Add(1)))),
@@ -341,6 +368,11 @@ func (c *Corpus) Page(id int) (Stat, bool) {
 // maps, so it is O(pages) — telemetry, not a hot path.
 func (c *Corpus) Stats() Stats {
 	var s Stats
+	s.QueryCacheHits = c.cacheHits.Load()
+	s.QueryCacheMisses = c.cacheMisses.Load()
+	if c.qcache != nil {
+		s.QueryCacheEntries = c.qcache.len()
+	}
 	s.Epochs = make([]uint64, len(c.shards))
 	for i, sh := range c.shards {
 		s.Epochs[i] = sh.snap.Load().epoch
@@ -386,14 +418,16 @@ func (c *Corpus) Epoch() uint64 {
 // reqScratch is the per-request working set, recycled through a pool so a
 // steady-state Rank call allocates only its result slice.
 type reqScratch struct {
-	rng   *randutil.RNG
-	sc    core.Scratch
-	det   []int
-	pool  []int
-	ids   []int
-	cand  []Stat
-	heads []int
-	snaps []*snapshot
+	rng     *randutil.RNG
+	sc      core.Scratch
+	det     []int
+	pool    []int
+	ids     []int
+	poolAll []int
+	u32     []uint32
+	cand    []Stat
+	heads   []int
+	snaps   []*snapshot
 }
 
 // Rank serves one query: lock-free candidate assembly, one
@@ -403,20 +437,29 @@ type reqScratch struct {
 // from the search index. Each call randomizes independently, the way
 // every user query sees a fresh merge.
 func (c *Corpus) Rank(query string, n int) ([]Result, error) {
-	rs := c.scratch.Get().(*reqScratch)
-	defer c.scratch.Put(rs)
-	return c.rank(query, n, rs.rng, rs)
+	return c.rankInto(query, n, nil, nil)
 }
 
 // RankSeeded is Rank with caller-controlled randomness, for reproducible
 // tests and benchmarks.
 func (c *Corpus) RankSeeded(query string, n int, seed uint64) ([]Result, error) {
-	rs := c.scratch.Get().(*reqScratch)
-	defer c.scratch.Put(rs)
-	return c.rank(query, n, randutil.New(seed), rs)
+	return c.rankInto(query, n, &seed, nil)
 }
 
-func (c *Corpus) rank(query string, n int, rng *randutil.RNG, rs *reqScratch) ([]Result, error) {
+// rankInto is the request entry shared by the public API and the HTTP
+// handler: results are appended to dst (which may be nil), so a pooled
+// caller pays no result allocation either.
+func (c *Corpus) rankInto(query string, n int, seed *uint64, dst []Result) ([]Result, error) {
+	rs := c.scratch.Get().(*reqScratch)
+	defer c.scratch.Put(rs)
+	rng := rs.rng
+	if seed != nil {
+		rng = randutil.New(*seed)
+	}
+	return c.rank(query, n, rng, rs, dst)
+}
+
+func (c *Corpus) rank(query string, n int, rng *randutil.RNG, rs *reqScratch, dst []Result) ([]Result, error) {
 	if n <= 0 {
 		n = DefaultTopN
 	}
@@ -424,11 +467,7 @@ func (c *Corpus) rank(query string, n int, rng *randutil.RNG, rs *reqScratch) ([
 	if query == "" {
 		det, pool = c.browseCandidates(n, det, pool, rng, rs)
 	} else {
-		var err error
-		det, pool, err = c.queryCandidates(query, n, det, pool, rng, rs)
-		if err != nil {
-			return nil, err
-		}
+		det, pool = c.queryCandidates(query, n, det, pool, rng, rs)
 	}
 	rs.det, rs.pool = det, pool
 	p := c.cfg.Policy
@@ -439,15 +478,19 @@ func (c *Corpus) rank(query string, n int, rng *randutil.RNG, rs *reqScratch) ([
 	if len(merged) > n {
 		merged, fromPool = merged[:n], fromPool[:n]
 	}
-	out := make([]Result, len(merged))
+	if cap(dst) < len(merged) {
+		dst = make([]Result, 0, len(merged))
+	} else {
+		dst = dst[:0]
+	}
 	for i, id := range merged {
 		res := Result{ID: id, Promoted: fromPool[i]}
 		if v, ok := c.shardFor(id).stats.Load(id); ok {
 			res.Popularity = v.(*Stat).Popularity
 		}
-		out[i] = res
+		dst = append(dst, res)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // mergeSnapshotTops walks the shard snapshots' deterministic top-lists
@@ -599,60 +642,151 @@ func heapFix(best []Stat) {
 	}
 }
 
-// queryCandidates assembles the det/pool split for a query: conjunctive
-// retrieval from the index, lock-free stat lookups, then a single pass
-// that keeps only the best n deterministic candidates (the merge can
-// never consume more) and a bounded uniform reservoir of the pooled
-// ones — mirroring the browse path's Shards×PoolCap promotion sample —
-// so per-request work and retained scratch are bounded by n + the pool
-// cap, not by match count.
-func (c *Corpus) queryCandidates(query string, n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int, err error) {
-	c.idxMu.RLock()
-	ids := c.idx.Retrieve(query)
-	c.idxMu.RUnlock()
-	if len(ids) == 0 {
-		return det, pool, nil
-	}
-	poolCap := c.cfg.PoolCap * len(c.shards)
-	poolSeen := 0
-	// Algorithm R: every pooled match ends up in the merge's promotion
-	// sample with equal probability poolCap/seen.
-	addPool := func(id int) {
-		poolSeen++
-		if len(pool) < poolCap {
+// maxCachedPool bounds the zero-awareness candidate list a cache entry
+// may carry; a query matching more unexplored pages than this is served
+// uncached rather than pinning unbounded memory per entry.
+const maxCachedPool = 4096
+
+// reservoirInto fills pool with a uniform poolCap-sample of all
+// (Algorithm R): every pooled match ends up in the merge's promotion
+// sample with equal probability poolCap/len(all). The draw sequence is a
+// pure function of all's order, so replaying it from a cached candidate
+// list consumes exactly the RNG draws the uncached scan would.
+func reservoirInto(pool, all []int, poolCap int, rng *randutil.RNG) []int {
+	for i, id := range all {
+		if i < poolCap {
 			pool = append(pool, id)
-			return
+			continue
 		}
-		if j := rng.Intn(poolSeen); j < poolCap {
+		if j := rng.Intn(i + 1); j < poolCap {
 			pool[j] = id
 		}
 	}
-	best := rs.cand[:0]
+	return pool
+}
+
+// heapSort sorts best (a worst-at-root heap maintained by heapPush and
+// heapFix) into rank order, best first, in place: repeatedly swap the
+// worst to the end and re-fix the shrunken heap. Replaces sort.Slice,
+// which boxes its arguments and allocates per call.
+func heapSort(best []Stat) {
+	for m := len(best) - 1; m > 0; m-- {
+		best[0], best[m] = best[m], best[0]
+		heapFix(best[:m])
+	}
+}
+
+// queryCandidates assembles the det/pool split for a query: lock-free
+// conjunctive retrieval from the index snapshot (rarest-first galloping
+// intersection into pooled scratch), lock-free stat lookups, then a
+// single pass that keeps only the best n deterministic candidates via a
+// bounded heap (the merge can never consume more) and a bounded uniform
+// reservoir of the pooled ones — mirroring the browse path's
+// Shards×PoolCap promotion sample — so per-request work and retained
+// scratch are bounded by n + the pool cap, not by match count.
+//
+// Under the selective and none rules the deterministic assembly is
+// memoized in the hot-query cache: a hit skips retrieval, stat loads and
+// top-K selection entirely, then replays the promotion reservoir and the
+// merge with fresh per-request randomness — byte-identical to the
+// uncached path at the same RNG seed. The uniform rule draws a coin per
+// candidate to form the pool, so its assembly is inherently per-request
+// and bypasses the cache.
+func (c *Corpus) queryCandidates(query string, n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int) {
+	snap := c.idx.Snapshot()
 	rule, r := c.cfg.Policy.Rule, c.cfg.Policy.R
-	for _, id := range ids {
-		v, ok := c.shardFor(id).stats.Load(id)
-		if !ok {
-			continue
+	poolCap := c.cfg.PoolCap * len(c.shards)
+	cacheable := c.qcache != nil && rule != core.RuleUniform
+	var nq string
+	if cacheable {
+		nq = searchidx.NormalizeQuery(query)
+		if e := c.qcache.get(nq, n, snap.Epoch(), c.Epoch()); e != nil {
+			c.cacheHits.Add(1)
+			det = append(det, e.det[:min(n, len(e.det))]...)
+			pool = reservoirInto(pool, e.pool, poolCap, rng)
+			return det, pool
 		}
-		st := *v.(*Stat)
-		switch {
-		case rule == core.RuleSelective && !st.Aware:
-			addPool(st.ID)
-		case rule == core.RuleUniform && rng.Bernoulli(r):
-			addPool(st.ID)
-		case len(best) < n:
-			best = heapPush(best, st)
-		case statLess(st, best[0]):
-			best[0] = st
-			heapFix(best)
+		c.cacheMisses.Add(1)
+	}
+	// Record the epochs before scanning: if the index or any shard
+	// changes mid-build, the stored entry is already stale and the next
+	// request rebuilds instead of reusing a torn view.
+	idxEpoch, srvEpoch := snap.Epoch(), c.Epoch()
+	ids := snap.RetrieveInto(rs.u32[:0], query)
+	rs.u32 = ids
+	if len(ids) == 0 {
+		return det, pool
+	}
+	best := rs.cand[:0]
+	poolAll := rs.poolAll[:0]
+	if rule == core.RuleUniform {
+		poolSeen := 0
+		for _, id32 := range ids {
+			id := int(id32)
+			v, ok := c.shardFor(id).stats.Load(id)
+			if !ok {
+				continue
+			}
+			st := *v.(*Stat)
+			switch {
+			case rng.Bernoulli(r):
+				// Algorithm R, interleaved with the coin flips exactly as
+				// the candidates stream by.
+				poolSeen++
+				if len(pool) < poolCap {
+					pool = append(pool, st.ID)
+				} else if j := rng.Intn(poolSeen); j < poolCap {
+					pool[j] = st.ID
+				}
+			case len(best) < n:
+				best = heapPush(best, st)
+			case statLess(st, best[0]):
+				best[0] = st
+				heapFix(best)
+			}
+		}
+	} else {
+		for _, id32 := range ids {
+			id := int(id32)
+			v, ok := c.shardFor(id).stats.Load(id)
+			if !ok {
+				continue
+			}
+			// Stat values are immutable once stored, so the scan can work
+			// through the pointer and copy only the candidates it keeps.
+			st := v.(*Stat)
+			switch {
+			case rule == core.RuleSelective && !st.Aware:
+				poolAll = append(poolAll, st.ID)
+			case len(best) < n:
+				best = heapPush(best, *st)
+			case statLess(*st, best[0]):
+				best[0] = *st
+				heapFix(best)
+			}
 		}
 	}
-	sort.Slice(best, func(i, j int) bool { return statLess(best[i], best[j]) })
+	heapSort(best)
 	rs.cand = best
+	detStart := len(det)
 	for _, st := range best {
 		det = append(det, st.ID)
 	}
-	return det, pool, nil
+	rs.poolAll = poolAll
+	if rule != core.RuleUniform {
+		pool = reservoirInto(pool, poolAll, poolCap, rng)
+		if cacheable && len(poolAll) <= maxCachedPool {
+			c.qcache.put(nq, &queryCacheEntry{
+				idxEpoch: idxEpoch,
+				srvEpoch: srvEpoch,
+				n:        n,
+				full:     len(det)-detStart < n,
+				det:      append([]int(nil), det[detStart:]...),
+				pool:     append([]int(nil), poolAll...),
+			})
+		}
+	}
+	return det, pool
 }
 
 // Top returns the deterministic (promotion-free) global top-n explored

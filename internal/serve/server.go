@@ -4,12 +4,20 @@
 // makes promotion evaluable online (position-bias measurement needs
 // impression/click counts per presented position), and GET /healthz is a
 // liveness probe.
+//
+// The hot handlers (/rank, /feedback) run allocation-light: request
+// bodies are read into pooled buffers, and responses are written by an
+// append-based JSON encoder (encode.go) into a pooled buffer rather than
+// through encoding/json's reflective Encoder. Cold endpoints keep
+// encoding/json.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -21,12 +29,26 @@ const MaxTopN = 1000
 // fits comfortably; anything larger is a client bug or abuse.
 const maxBodyBytes = 8 << 20
 
+// connScratch is the per-request HTTP working set — body read buffer,
+// response write buffer and served results — recycled through a pool so
+// the steady-state /rank handler allocates only what net/http itself
+// does. Decoded structures are deliberately NOT pooled: json.Unmarshal
+// reuses a slice's backing array without zeroing it, so events whose
+// JSON omits a field would inherit a previous request's values.
+type connScratch struct {
+	in      []byte
+	out     []byte
+	results []Result
+}
+
 // Server wraps a Corpus with the HTTP API. Create with NewServer; it
 // implements http.Handler.
 type Server struct {
 	corpus *Corpus
 	mux    *http.ServeMux
 	start  time.Time
+
+	scratch sync.Pool // *connScratch
 
 	rankRequests     atomic.Uint64
 	feedbackRequests atomic.Uint64
@@ -35,11 +57,40 @@ type Server struct {
 // NewServer builds the HTTP front end for the corpus.
 func NewServer(c *Corpus) *Server {
 	s := &Server{corpus: c, mux: http.NewServeMux(), start: time.Now()}
+	s.scratch.New = func() any {
+		return &connScratch{in: make([]byte, 0, 1024), out: make([]byte, 0, 4096)}
+	}
 	s.mux.HandleFunc("/rank", s.handleRank)
 	s.mux.HandleFunc("/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// readBody reads the request body (bounded by maxBodyBytes) into dst,
+// reusing its capacity.
+func readBody(dst []byte, w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := rd.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// writeRaw sends a pre-encoded JSON body.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
 }
 
 // ServeHTTP dispatches to the API endpoints.
@@ -102,6 +153,9 @@ type StatsResponse struct {
 	ImpressionsApplied uint64      `json:"impressions_applied"`
 	ClicksApplied      uint64      `json:"clicks_applied"`
 	Dropped            uint64      `json:"dropped"`
+	QueryCacheHits     uint64      `json:"query_cache_hits"`
+	QueryCacheMisses   uint64      `json:"query_cache_misses"`
+	QueryCacheEntries  int         `json:"query_cache_entries"`
 	Epochs             []uint64    `json:"epochs"`
 	Slots              []SlotStats `json:"slots"`
 }
@@ -111,8 +165,16 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	sc := s.scratch.Get().(*connScratch)
+	defer s.scratch.Put(sc)
+	var err error
+	sc.in, err = readBody(sc.in[:0], w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
 	var req RankRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := json.Unmarshal(sc.in, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
@@ -127,22 +189,13 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		req.N = MaxTopN
 	}
 	s.rankRequests.Add(1)
-	var results []Result
-	var err error
-	if req.Seed != nil {
-		results, err = s.corpus.RankSeeded(req.Query, req.N, *req.Seed)
-	} else {
-		results, err = s.corpus.Rank(req.Query, req.N)
-	}
+	sc.results, err = s.corpus.rankInto(req.Query, req.N, req.Seed, sc.results)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := RankResponse{Query: req.Query, Epoch: s.corpus.Epoch(), Results: make([]RankedItem, len(results))}
-	for i, res := range results {
-		resp.Results[i] = RankedItem{Slot: i + 1, ID: res.ID, Popularity: res.Popularity, Promoted: res.Promoted}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.out = appendRankResponse(sc.out[:0], req.Query, s.corpus.Epoch(), sc.results)
+	writeRaw(w, http.StatusOK, sc.out)
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -150,8 +203,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	sc := s.scratch.Get().(*connScratch)
+	defer s.scratch.Put(sc)
+	var err error
+	sc.in, err = readBody(sc.in[:0], w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
 	var req FeedbackRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+	if err := json.Unmarshal(sc.in, &req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
 		return
 	}
@@ -169,8 +230,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	s.feedbackRequests.Add(1)
 	// Slot telemetry is recorded by the apply loops, so the /stats slot
 	// table only ever counts feedback that was actually folded in.
+	// Feedback copies events into per-shard batches, so the pooled slice
+	// is free for reuse as soon as it returns.
 	s.corpus.Feedback(req.Events)
-	writeJSON(w, http.StatusAccepted, FeedbackResponse{Accepted: len(req.Events)})
+	sc.out = appendFeedbackResponse(sc.out[:0], len(req.Events))
+	writeRaw(w, http.StatusAccepted, sc.out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +256,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ImpressionsApplied: cs.ImpressionsApplied,
 		ClicksApplied:      cs.ClicksApplied,
 		Dropped:            cs.Dropped,
+		QueryCacheHits:     cs.QueryCacheHits,
+		QueryCacheMisses:   cs.QueryCacheMisses,
+		QueryCacheEntries:  cs.QueryCacheEntries,
 		Epochs:             cs.Epochs,
 	}
 	// Trim the slot table to the deepest position that saw traffic.
