@@ -17,6 +17,11 @@
 //	-rule        promotion rule: selective, uniform or none (default selective)
 //	-k           protected prefix length k (default 1)
 //	-r           degree of randomization r (default 0.1)
+//	-arm         experiment arm "name=rule:k:r[:rmin][@weight]"; repeatable.
+//	             When given, -rule/-k/-r are ignored and requests are
+//	             A/B-assigned across the declared arms (stable by the
+//	             request's unit ID). Example:
+//	             -arm control=none@1 -arm treat=selective:1:0.1@1
 //	-seed        base random seed (default 1)
 //	-pages       synthetic bootstrap corpus size, 0 = start empty (default 1000)
 //	-fresh       fraction of bootstrap pages starting at zero awareness (default 0.1)
@@ -27,6 +32,11 @@
 // Zipf-shaped initial popularity, so the service is immediately
 // queryable; a fraction starts with zero awareness and can only surface
 // through randomized promotion plus clicks.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
+// closes, every in-flight HTTP request drains, all pending feedback
+// batches are flushed into the shards and published, and only then do
+// the apply loops stop.
 package main
 
 import (
@@ -35,15 +45,61 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/serve"
 )
+
+// armFlags accumulates repeated -arm values.
+type armFlags []serve.Arm
+
+func (a *armFlags) String() string {
+	parts := make([]string, len(*a))
+	for i, arm := range *a {
+		parts[i] = fmt.Sprintf("%s=%s@%g", arm.Name, arm.Policy, arm.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses "name=rule:k:r[:rmin][@weight]" (weight defaults to 1).
+func (a *armFlags) Set(v string) error {
+	name, specStr, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("arm %q: want name=rule:k:r[:rmin][@weight]", v)
+	}
+	specStr, weightStr, hasWeight := cutLast(specStr, "@")
+	weight := 1.0
+	if hasWeight {
+		w, err := strconv.ParseFloat(weightStr, 64)
+		if err != nil {
+			return fmt.Errorf("arm %q: bad weight %q: %v", v, weightStr, err)
+		}
+		weight = w
+	}
+	spec, err := policy.ParseSpec(specStr)
+	if err != nil {
+		return fmt.Errorf("arm %q: %v", v, err)
+	}
+	*a = append(*a, serve.Arm{Name: name, Policy: spec, Weight: weight})
+	return nil
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s, sep string) (before, after string, found bool) {
+	if i := strings.LastIndex(s, sep); i >= 0 {
+		return s[:i], s[i+len(sep):], true
+	}
+	return s, "", false
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -53,6 +109,8 @@ func main() {
 	rule := flag.String("rule", "selective", "promotion rule: selective, uniform or none")
 	k := flag.Int("k", 1, "protected prefix length k")
 	r := flag.Float64("r", 0.1, "degree of randomization r")
+	var arms armFlags
+	flag.Var(&arms, "arm", `experiment arm "name=rule:k:r[:rmin][@weight]" (repeatable; overrides -rule/-k/-r)`)
 	seed := flag.Uint64("seed", 1, "base random seed")
 	pages := flag.Int("pages", 1000, "synthetic bootstrap corpus size (0 = start empty)")
 	fresh := flag.Float64("fresh", 0.1, "fraction of bootstrap pages starting at zero awareness")
@@ -79,32 +137,33 @@ func main() {
 	if *fresh < 0 || *fresh > 1 {
 		fail("-fresh must be in [0,1], got %v", *fresh)
 	}
-	policy := core.Policy{K: *k, R: *r}
+	pol := core.Policy{K: *k, R: *r}
 	switch *rule {
 	case "selective":
-		policy.Rule = core.RuleSelective
+		pol.Rule = core.RuleSelective
 	case "uniform":
-		policy.Rule = core.RuleUniform
+		pol.Rule = core.RuleUniform
 	case "none":
-		policy.Rule = core.RuleNone
+		pol.Rule = core.RuleNone
 	default:
 		fail("-rule must be selective, uniform or none, got %q", *rule)
 	}
-	if err := policy.Validate(); err != nil {
+	if err := pol.Validate(); err != nil {
 		fail("%v", err)
 	}
 
-	corpus, err := serve.NewCorpus(serve.Config{
+	cfg := serve.Config{
 		Shards:  *shards,
 		TopK:    *topk,
 		PoolCap: *poolcap,
-		Policy:  policy,
+		Policy:  pol,
+		Arms:    arms,
 		Seed:    *seed,
-	})
-	if err != nil {
-		log.Fatalf("shuffledeckd: %v", err)
 	}
-	defer corpus.Close()
+	corpus, err := serve.NewCorpus(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
 	if *pages > 0 {
 		if err := Bootstrap(corpus, *pages, *fresh); err != nil {
 			log.Fatalf("shuffledeckd: bootstrap: %v", err)
@@ -132,25 +191,55 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(corpus)}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	shutdownDone := make(chan struct{})
-	go func() {
-		defer close(shutdownDone)
-		<-ctx.Done()
-		// No timeout: Shutdown must wait for every in-flight handler —
-		// a /feedback handler blocked on shard backpressure would
-		// otherwise race the deferred corpus.Close (send on closed
-		// channel).
-		_ = srv.Shutdown(context.Background())
-	}()
-	log.Printf("shuffledeckd: policy %v, listening on %s", policy, *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatalf("shuffledeckd: %v", err)
 	}
-	<-shutdownDone
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if len(arms) > 0 {
+		log.Printf("shuffledeckd: %d arms (%v), listening on %s", len(arms), arms.String(), ln.Addr())
+	} else {
+		log.Printf("shuffledeckd: policy %v, listening on %s", pol, ln.Addr())
+	}
+	if err := runServer(ctx, ln, corpus); err != nil {
+		log.Fatalf("shuffledeckd: %v", err)
+	}
 	log.Printf("shuffledeckd: shut down")
+}
+
+// runServer serves the API on ln until ctx is canceled (SIGINT/SIGTERM in
+// main), then shuts down gracefully in three ordered steps: drain every
+// in-flight HTTP request, flush all pending feedback batches into the
+// shards (Sync blocks until applied and published), and stop the apply
+// loops. The corpus remains readable afterwards.
+func runServer(ctx context.Context, ln net.Listener, corpus *serve.Corpus) error {
+	srv := &http.Server{Handler: serve.NewServer(corpus)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		// The listener failed before any signal; stop the apply loops and
+		// report.
+		corpus.Close()
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	// No Shutdown timeout: a /feedback handler blocked on shard
+	// backpressure must finish its channel sends before the apply loops
+	// stop, or Close would race it (send on closed channel).
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	// Every batch the drained handlers enqueued is now in the shard
+	// queues; Sync flushes and publishes them so no acknowledged feedback
+	// is lost on exit.
+	corpus.Sync()
+	corpus.Close()
+	return nil
 }
 
 // topics are the synthetic bootstrap's query vocabulary.

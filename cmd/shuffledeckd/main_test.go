@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/serve"
+)
+
+func TestArmFlagParsing(t *testing.T) {
+	var a armFlags
+	for _, v := range []string{
+		"control=none@1",
+		"treat=selective:1:0.1@3",
+		"decay=epsilon-decay:2:0.2:0.02",
+	} {
+		if err := a.Set(v); err != nil {
+			t.Fatalf("Set(%q): %v", v, err)
+		}
+	}
+	want := armFlags{
+		{Name: "control", Policy: policy.Spec{Rule: policy.RuleNone}, Weight: 1},
+		{Name: "treat", Policy: policy.Spec{Rule: policy.RuleSelective, K: 1, R: 0.1}, Weight: 3},
+		{Name: "decay", Policy: policy.Spec{Rule: policy.RuleEpsilonDecay, K: 2, R: 0.2, RMin: 0.02}, Weight: 1},
+	}
+	if len(a) != len(want) {
+		t.Fatalf("parsed %d arms, want %d", len(a), len(want))
+	}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("arm %d = %+v, want %+v", i, a[i], want[i])
+		}
+	}
+	if s := a.String(); !strings.Contains(s, "control=none@1") {
+		t.Errorf("String() = %q", s)
+	}
+	for _, bad := range []string{
+		"", "noname", "=selective:1:0.1", "x=wat:1:0.1", "x=selective:1:0.1@w",
+	} {
+		var b armFlags
+		if err := b.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBootstrapFreshFraction(t *testing.T) {
+	c, err := serve.NewCorpus(serve.Config{Shards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := Bootstrap(c, 200, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+	st := c.Stats()
+	if st.Pages != 200 || st.ZeroAware != 20 {
+		t.Fatalf("bootstrap stats = %+v, want 200 pages with 20 zero-awareness", st)
+	}
+}
+
+// TestGracefulShutdownFlushesFeedback simulates the daemon's signal path
+// (context cancellation stands in for SIGTERM, which is exactly what
+// signal.NotifyContext delivers) and asserts the shutdown contract:
+// in-flight requests complete, every acknowledged feedback batch is
+// flushed into the shards before exit, the listener is closed, and the
+// corpus stays readable.
+func TestGracefulShutdownFlushesFeedback(t *testing.T) {
+	corpus, err := serve.NewCorpus(serve.Config{Shards: 2, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := corpus.Add(i, fmt.Sprintf("shutdown topic page%d", i), float64(10-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := corpus.Add(99, "shutdown topic gem", 0); err != nil {
+		t.Fatal(err)
+	}
+	corpus.Sync()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- runServer(ctx, ln, corpus) }()
+	base := "http://" + ln.Addr().String()
+
+	// The server must be up: rank something.
+	body, _ := json.Marshal(serve.RankRequest{N: 5})
+	resp, err := http.Post(base+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("server not serving: %v", err)
+	}
+	resp.Body.Close()
+
+	// Enqueue feedback (clicks promote the gem) right before the signal;
+	// the 202 means the batch is in the shard queues, and graceful
+	// shutdown promises it is applied before exit.
+	fb, _ := json.Marshal(serve.FeedbackRequest{Events: []serve.Event{
+		{Page: 99, Slot: 2, Impressions: 1, Clicks: 3},
+		{Page: 0, Slot: 1, Impressions: 1, Clicks: 1},
+	}})
+	resp, err = http.Post(base+"/feedback", "application/json", bytes.NewReader(fb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/feedback status %d", resp.StatusCode)
+	}
+
+	cancel() // deliver the simulated SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runServer: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("graceful shutdown hung")
+	}
+
+	// Flushed before exit: the acknowledged clicks are applied and the
+	// gem is promoted, with no Sync from the test's side after shutdown.
+	st := corpus.Stats()
+	if st.ClicksApplied != 4 {
+		t.Fatalf("clicks applied after shutdown = %d, want 4 (feedback lost)", st.ClicksApplied)
+	}
+	if gem, _ := corpus.Page(99); !gem.Aware || gem.Popularity != 3 {
+		t.Fatalf("gem not promoted before exit: %+v", gem)
+	}
+	// The corpus stays readable after Close.
+	if top := corpus.Top(3); len(top) == 0 {
+		t.Fatal("corpus unreadable after shutdown")
+	}
+	// The listener is really closed.
+	if _, err := http.Post(base+"/rank", "application/json", bytes.NewReader(body)); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}

@@ -1,9 +1,12 @@
 // Command liveserve demonstrates the online ranking service end to end,
-// in one process: it starts the HTTP service on a loopback port, plants
-// a zero-awareness gem among an entrenched establishment, drives
-// simulated click traffic through the API with the load generator, and
-// prints the before/after deterministic top-10 — showing feedback-driven
-// rank promotion lift the gem into the establishment, plus the measured
+// in one process: it starts the HTTP service with a two-arm experiment —
+// a deterministic control against the paper's selective rank promotion —
+// plants a zero-awareness gem among an entrenched establishment, drives
+// simulated click traffic through the API with the load generator
+// (unit-bucketed users, so each simulated user sticks to one arm), and
+// prints the per-arm scorecard: the treatment arm discovers the gem, the
+// control arm cannot, and the feedback lifts the gem into the
+// deterministic top-10 for everyone. It also shows the measured per-arm
 // p50/p99 latency and QPS.
 //
 //	go run ./examples/liveserve
@@ -14,7 +17,9 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sort"
 
+	"repro/internal/policy"
 	"repro/internal/serve"
 	"repro/internal/serve/loadgen"
 )
@@ -25,7 +30,14 @@ const (
 )
 
 func main() {
-	corpus, err := serve.NewCorpus(serve.Config{Shards: 4, Seed: 1})
+	corpus, err := serve.NewCorpus(serve.Config{
+		Shards: 4,
+		Seed:   1,
+		Arms: []serve.Arm{
+			{Name: "control", Policy: policy.Spec{Rule: policy.RuleDeterministic}, Weight: 1},
+			{Name: "treatment", Policy: policy.Spec{Rule: policy.RuleSelective, K: 1, R: 0.1}, Weight: 1},
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +70,7 @@ func main() {
 	}()
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("serving on %s (policy %v)\n\n", base, corpus.Policy())
+	fmt.Printf("serving on %s — A/B experiment: deterministic control vs selective treatment\n\n", base)
 
 	fmt.Println("deterministic top-10 before traffic (gem nowhere in sight):")
 	printTop(corpus)
@@ -68,6 +80,7 @@ func main() {
 		Workers:  4,
 		Requests: 1500,
 		N:        20,
+		Units:    32, // 128 simulated users, each pinned to one arm
 		Seed:     7,
 		Quality: func(id int) float64 {
 			if id == gemID {
@@ -81,15 +94,28 @@ func main() {
 	}
 	corpus.Sync()
 
-	fmt.Printf("\nload run: %v\n\n", report)
-	fmt.Println("deterministic top-10 after feedback:")
+	fmt.Printf("\nload run: %v\n", report)
+
+	fmt.Println("\nper-arm experiment scorecard (GET /experiment):")
+	arms := corpus.Arms()
+	sort.Slice(arms, func(i, j int) bool { return arms[i].Name < arms[j].Name })
+	for _, a := range arms {
+		fmt.Printf("  %-10s %-22s weight %g: %4d requests, %5d impressions, %3d clicks, %d discoveries",
+			a.Name, a.Policy, a.Weight, a.Requests, a.Impressions, a.Clicks, a.Discoveries)
+		if a.Discoveries > 0 {
+			fmt.Printf(" (mean time-to-first-click %.1fms)", a.MeanTTFCMillis)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ndeterministic top-10 after feedback:")
 	printTop(corpus)
 
 	gem, _ := corpus.Page(gemID)
 	fmt.Printf("\ngem %d: aware=%v popularity=%.0f after %d impressions, %d clicks\n",
 		gemID, gem.Aware, gem.Popularity, gem.Impressions, gem.Clicks)
-	fmt.Println("\nrandomized promotion showed the gem to a few users; their clicks")
-	fmt.Println("did the rest — the paper's argument, live behind an HTTP API")
+	fmt.Println("\nonly the treatment arm could show the gem; its users' clicks did the")
+	fmt.Println("rest — the paper's comparison, run live as an A/B experiment over HTTP")
 }
 
 func printTop(c *serve.Corpus) {

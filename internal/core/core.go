@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/policy"
 	"repro/internal/randutil"
 )
 
@@ -95,26 +96,35 @@ func (p Policy) String() string {
 	return fmt.Sprintf("%s(k=%d,r=%g)", p.Rule, p.K, p.R)
 }
 
-// Source is a read-only ordered collection of page IDs. The deterministic
-// list is consumed in order (rank order); the pool's order carries no
-// meaning (the merge shuffles it).
-type Source interface {
-	Len() int
-	// At returns the page at 0-based index i.
-	At(i int) int
+// Compile bridges the offline struct form to the pluggable policy engine:
+// it returns the policy.Policy with the same selection rule and merge
+// parameters. Every surface that ranks (Ranker, simulator, serving path)
+// runs the compiled form against the shared merge engine.
+func (p Policy) Compile() (policy.Policy, error) {
+	switch p.Rule {
+	case RuleNone:
+		return policy.Deterministic(), nil
+	case RuleUniform:
+		return policy.Uniform(p.K, p.R)
+	case RuleSelective:
+		return policy.Selective(p.K, p.R)
+	default:
+		return nil, fmt.Errorf("core: unknown promotion rule %d", int(p.Rule))
+	}
 }
 
-// Slice adapts a []int to a Source. Converting a Slice value to the
-// Source interface boxes the slice header (one allocation); hot paths
-// that merge per request pass *Slice instead — a pointer boxes for free
-// and reads the buffer's current header on every call.
-type Slice []int
-
-// Len returns the number of pages.
-func (s Slice) Len() int { return len(s) }
-
-// At returns the page at index i.
-func (s Slice) At(i int) int { return s[i] }
+// Source, Slice, Merge, MergeScratch and Scratch are the merge engine,
+// which now lives in internal/policy so the offline and online ranking
+// paths share a single implementation. The aliases keep this package the
+// home of the paper's §4 vocabulary for offline callers.
+type (
+	// Source is a read-only ordered collection of page IDs.
+	Source = policy.Source
+	// Slice adapts a []int to a Source.
+	Slice = policy.Slice
+	// Scratch bundles the reusable buffers of a repeated merge.
+	Scratch = policy.Scratch
+)
 
 // Merge materializes the final result list for one query: det in
 // deterministic order, pool shuffled, merged per the §4 procedure with
@@ -122,109 +132,15 @@ func (s Slice) At(i int) int { return s[i] }
 //
 // Merge is the executable specification; Resolver is the fast path.
 func Merge(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int) []int {
-	dst, _ = MergeScratch(det, pool, k, r, rng, dst, nil)
-	return dst
+	return policy.Merge(det, pool, k, r, rng, dst)
 }
 
 // MergeScratch is Merge with a caller-owned scratch buffer backing the
-// pool shuffle, so steady-state callers (the Ranker, per-day simulation
-// merges) allocate nothing beyond the result itself. It returns the
-// merged list and the (possibly grown) scratch for reuse.
+// pool shuffle, so steady-state callers allocate nothing beyond the
+// result itself. It returns the merged list and the (possibly grown)
+// scratch for reuse.
 func MergeScratch(det, pool Source, k int, r float64, rng *randutil.RNG, dst, scratch []int) (merged, scratchOut []int) {
-	dst, _, scratch = mergeImpl(det, pool, k, r, rng, dst, nil, scratch, false)
-	return dst, scratch
-}
-
-// mergeImpl is the single implementation behind Merge, MergeScratch and
-// Scratch.MergeTagged. When wantTags is true it appends, parallel to each
-// dst append, whether the slot was filled from the promotion pool. The
-// sequence of RNG draws is identical either way, so tagged and untagged
-// merges of the same inputs produce the same list.
-func mergeImpl(det, pool Source, k int, r float64, rng *randutil.RNG, dst []int, tags []bool, scratch []int, wantTags bool) ([]int, []bool, []int) {
-	nd, np := det.Len(), pool.Len()
-	total := nd + np
-	if cap(dst)-len(dst) < total {
-		grown := make([]int, len(dst), len(dst)+total)
-		copy(grown, dst)
-		dst = grown
-	}
-	// Shuffled copy of the pool in the scratch buffer.
-	if cap(scratch) < np {
-		scratch = make([]int, np)
-	}
-	lp := scratch[:np]
-	for i := range lp {
-		lp[i] = pool.At(i)
-	}
-	rng.ShuffleInts(lp)
-
-	// Step 1: top k−1 of Ld.
-	prefix := min(k-1, nd)
-	di := 0
-	for ; di < prefix; di++ {
-		dst = append(dst, det.At(di))
-		if wantTags {
-			tags = append(tags, false)
-		}
-	}
-	// Step 2: biased merge of the remainder.
-	pi := 0
-	for di < nd && pi < np {
-		if rng.Float64() < r {
-			dst = append(dst, lp[pi])
-			pi++
-			if wantTags {
-				tags = append(tags, true)
-			}
-		} else {
-			dst = append(dst, det.At(di))
-			di++
-			if wantTags {
-				tags = append(tags, false)
-			}
-		}
-	}
-	for ; di < nd; di++ {
-		dst = append(dst, det.At(di))
-		if wantTags {
-			tags = append(tags, false)
-		}
-	}
-	for ; pi < np; pi++ {
-		dst = append(dst, lp[pi])
-		if wantTags {
-			tags = append(tags, true)
-		}
-	}
-	return dst, tags, scratch
-}
-
-// Scratch bundles the reusable buffers of a repeated merge — the result
-// list, the pool-shuffle buffer and the optional provenance tags — for
-// callers that merge on a hot path (the serving layer runs one merge per
-// /rank request). The zero value is ready to use; a Scratch is not safe
-// for concurrent use, so pool or per-goroutine them.
-type Scratch struct {
-	dst     []int
-	tags    []bool
-	shuffle []int
-}
-
-// Merge runs the §4 merge procedure with the scratch's buffers. The
-// returned slice is owned by the Scratch and valid until the next call.
-func (s *Scratch) Merge(det, pool Source, k int, r float64, rng *randutil.RNG) []int {
-	s.dst, _, s.shuffle = mergeImpl(det, pool, k, r, rng, s.dst[:0], nil, s.shuffle, false)
-	return s.dst
-}
-
-// MergeTagged is Merge plus provenance: fromPool[i] reports whether
-// position i was filled from the promotion pool rather than the
-// deterministic list. Both returned slices are owned by the Scratch and
-// valid until the next call. The merged list is identical to what Merge
-// would produce from the same inputs and RNG state.
-func (s *Scratch) MergeTagged(det, pool Source, k int, r float64, rng *randutil.RNG) (merged []int, fromPool []bool) {
-	s.dst, s.tags, s.shuffle = mergeImpl(det, pool, k, r, rng, s.dst[:0], s.tags[:0], s.shuffle, true)
-	return s.dst, s.tags
+	return policy.MergeScratch(det, pool, k, r, rng, dst, scratch)
 }
 
 // Resolver resolves single positions of a fresh random merge without

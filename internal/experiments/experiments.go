@@ -177,20 +177,30 @@ type simSpec struct {
 }
 
 // runSpecGrid fans every (spec × seed) simulation out on the parallel
-// grid and returns results[spec][seed]. Each job derives all randomness
-// from its own seed (o.Seed + replication index), so the grid is
-// bit-identical to a serial loop over the same jobs at any worker count.
+// grid and returns results[spec][seed]. Each spec's offline policy struct
+// is compiled once into the pluggable internal/policy engine — the same
+// merge implementation the online service runs — and every replication
+// simulates through it. Each job derives all randomness from its own seed
+// (o.Seed + replication index), so the grid is bit-identical to a serial
+// loop over the same jobs at any worker count.
 func runSpecGrid(specs []simSpec, o Options) ([][]*sim.Result, error) {
 	jobs := make([]func() (*sim.Result, error), 0, len(specs)*o.Seeds)
 	for _, sp := range specs {
 		sp := sp
+		if err := sp.pol.Validate(); err != nil {
+			return nil, err
+		}
+		compiled, err := sp.pol.Compile()
+		if err != nil {
+			return nil, err
+		}
 		for i := 0; i < o.Seeds; i++ {
 			opts := simOptions(sp.comm, o, o.Seed+uint64(i))
 			if sp.mutate != nil {
 				sp.mutate(&opts)
 			}
 			jobs = append(jobs, func() (*sim.Result, error) {
-				s, err := sim.New(sp.comm, sp.pol, sp.qs, opts)
+				s, err := sim.NewWithPolicy(sp.comm, compiled, sp.qs, opts)
 				if err != nil {
 					return nil, err
 				}

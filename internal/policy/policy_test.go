@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/randutil"
+)
+
+func TestSpecCompileAndString(t *testing.T) {
+	cases := []struct {
+		spec    Spec
+		wantSel Selection
+		wantStr string
+		wantErr string
+	}{
+		{Spec{Rule: RuleDeterministic}, SelectNone, "none", ""},
+		{Spec{Rule: RuleNone}, SelectNone, "none", ""},
+		{Spec{}, SelectNone, "none", ""},
+		{Spec{Rule: RuleUniform, K: 1, R: 0.2}, SelectCoin, "uniform(k=1,r=0.2)", ""},
+		{Spec{Rule: RuleSelective, K: 2, R: 0.1}, SelectUnexplored, "selective(k=2,r=0.1)", ""},
+		{Spec{Rule: RuleEpsilonDecay, K: 1, R: 0.3, RMin: 0.05}, SelectUnexplored, "epsilon-decay(k=1,r=0.3,rmin=0.05)", ""},
+		{Spec{Rule: "mystery"}, 0, "", "unknown rule"},
+		{Spec{Rule: RuleSelective, K: 0, R: 0.1}, 0, "", "k must be"},
+		{Spec{Rule: RuleUniform, K: 1, R: -0.1}, 0, "", "r must be"},
+		{Spec{Rule: RuleEpsilonDecay, K: 1, R: 0.1, RMin: 0.2}, 0, "", "rmin"},
+	}
+	for _, tc := range cases {
+		p, err := tc.spec.Compile()
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Compile(%+v) err = %v, want mention of %q", tc.spec, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Compile(%+v): %v", tc.spec, err)
+			continue
+		}
+		if p.Selection() != tc.wantSel {
+			t.Errorf("%+v selection = %v, want %v", tc.spec, p.Selection(), tc.wantSel)
+		}
+		if got := tc.spec.String(); got != tc.wantStr {
+			t.Errorf("%+v String() = %q, want %q", tc.spec, got, tc.wantStr)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	good := map[string]Spec{
+		"deterministic":            {Rule: RuleDeterministic},
+		"none":                     {Rule: RuleNone},
+		"selective:1:0.1":          {Rule: RuleSelective, K: 1, R: 0.1},
+		"uniform:2:0.25":           {Rule: RuleUniform, K: 2, R: 0.25},
+		"epsilon-decay:1:0.2:0.02": {Rule: RuleEpsilonDecay, K: 1, R: 0.2, RMin: 0.02},
+		" selective:1:0.1":         {Rule: RuleSelective, K: 1, R: 0.1},
+		"epsilon-decay:3:0.5":      {Rule: RuleEpsilonDecay, K: 3, R: 0.5},
+	}
+	for in, want := range good {
+		got, err := ParseSpec(in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	bad := []string{
+		"", ":1:0.1", "selective:x:0.1", "selective:1:zz", "selective:1:0.1:0.05",
+		"selective:1:0.1:0.05:9", "wat:1:0.1", "selective:0:0.1", "uniform:1:7",
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+		}
+	}
+}
+
+func TestEpsilonDecayParams(t *testing.T) {
+	p, err := EpsilonDecay(2, 0.4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		st    State
+		wantR float64
+	}{
+		{State{}, 0.4},                           // no signal: full exploration
+		{State{Pages: 100, ZeroAware: 100}, 0.4}, // everything unexplored
+		{State{Pages: 100, ZeroAware: 0}, 0.1},   // fully explored: floor
+		{State{Pages: 100, ZeroAware: 50}, 0.25}, // halfway: midpoint
+		{State{Pages: 100, ZeroAware: 150}, 0.4}, // clamped
+	}
+	for _, tc := range cases {
+		k, r := p.Params(tc.st)
+		if k != 2 {
+			t.Errorf("Params(%+v) k = %d, want 2", tc.st, k)
+		}
+		if diff := r - tc.wantR; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("Params(%+v) r = %v, want %v", tc.st, r, tc.wantR)
+		}
+	}
+}
+
+// TestScratchMergeZeroAlloc: the engine's steady-state merge allocates
+// nothing once the scratch buffers have grown.
+func TestScratchMergeZeroAlloc(t *testing.T) {
+	det := Slice{1, 2, 3, 4, 5, 6, 7, 8}
+	pool := Slice{9, 10, 11, 12}
+	rng := randutil.New(3)
+	var sc Scratch
+	sc.MergeTagged(&det, &pool, 2, 0.3, rng) // grow buffers
+	allocs := testing.AllocsPerRun(100, func() {
+		sc.MergeTagged(&det, &pool, 2, 0.3, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state MergeTagged allocates %v per run", allocs)
+	}
+}
+
+// TestMergeTaggedMatchesMerge: tagged and untagged merges of the same
+// inputs at the same seed produce the same list, and the tags mark
+// exactly the pool-sourced slots.
+func TestMergeTaggedMatchesMerge(t *testing.T) {
+	det := Slice{1, 2, 3, 4, 5}
+	pool := Slice{10, 11, 12}
+	for seed := uint64(1); seed <= 50; seed++ {
+		var sc Scratch
+		merged, tags := sc.MergeTagged(det, pool, 2, 0.4, randutil.New(seed))
+		plain := Merge(det, pool, 2, 0.4, randutil.New(seed), nil)
+		if !reflect.DeepEqual(merged, plain) {
+			t.Fatalf("seed %d: tagged %v != untagged %v", seed, merged, plain)
+		}
+		poolSet := map[int]bool{10: true, 11: true, 12: true}
+		for i, id := range merged {
+			if tags[i] != poolSet[id] {
+				t.Fatalf("seed %d: slot %d (page %d) tagged %v", seed, i, id, tags[i])
+			}
+		}
+	}
+}

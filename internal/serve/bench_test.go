@@ -96,6 +96,55 @@ func BenchmarkServeRankQuery(b *testing.B) {
 	})
 }
 
+// BenchmarkServeRankArms measures the query hot path under a live
+// two-arm experiment (deterministic control vs selective treatment):
+// unit hashing, arm assignment, the per-arm query cache and the arm's
+// policy merge. The single-arm path (BenchmarkServeRankQuery) is the
+// no-experiment baseline this must stay close to.
+func BenchmarkServeRankArms(b *testing.B) {
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	c, err := NewCorpus(Config{Shards: 8, Seed: 1, Arms: []Arm{
+		{Name: "control", Policy: pspec("deterministic", 0, 0, 0), Weight: 1},
+		{Name: "treatment", Policy: pspec("selective", 1, 0.1, 0), Weight: 1},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < n; i++ {
+		pop := 0.0
+		if i%50 != 0 {
+			pop = float64(n) / float64(i+1)
+		}
+		if err := c.Add(i, fmt.Sprintf("bench topic page%d", i), pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Sync()
+	// A fixed unit pool, pre-rendered so the loop measures serving, not
+	// fmt. Warm both arms' cache entries untimed.
+	units := make([]string, 64)
+	for i := range units {
+		units[i] = fmt.Sprintf("bench-unit-%d", i)
+		if _, _, err := c.RankUnit(units[i], "bench topic", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := c.RankUnit(units[i&63], "bench topic", 10); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
 // BenchmarkServeRankQueryUncached measures the cold query path with the
 // cache disabled: lock-free snapshot retrieval (galloping intersection),
 // per-candidate stat lookups and bounded-heap top-K selection — the cost

@@ -9,9 +9,21 @@
 // corpus epoch (sum of shard snapshot epochs — no rank-changing feedback
 // applied). Any mutation bumps one of them, so a stale entry simply
 // misses and is rebuilt; entries are never served across a change.
+//
+// Keys carry the serving arm's name ahead of the normalized query, so
+// experiment arms — which rank the same candidates under different
+// policies — memoize independently and a hot query stays hot per arm.
 package serve
 
 import "sync"
+
+// cacheKey namespaces a normalized query by the experiment arm that
+// built the entry. A two-field struct key costs no allocation per
+// lookup, unlike concatenating a string prefix.
+type cacheKey struct {
+	arm   string
+	query string
+}
 
 // queryCacheEntry is one cached candidate assembly.
 type queryCacheEntry struct {
@@ -31,26 +43,26 @@ func (e *queryCacheEntry) covers(m int, idxEpoch, srvEpoch uint64) bool {
 		(m <= e.n || e.full)
 }
 
-// queryCache is a bounded map from normalized query to its candidate
-// entry. Reads take a shared lock (no allocation — a sync.Map would box
-// the string key per lookup); writes replace whole entries. When full, an
-// arbitrary entry is evicted (map iteration order), which is cheap and
+// queryCache is a bounded map from (arm, normalized query) to its
+// candidate entry. Reads take a shared lock (no allocation — a sync.Map
+// would box the key per lookup); writes replace whole entries. When full,
+// an arbitrary entry is evicted (map iteration order), which is cheap and
 // unbiased enough for a hot-query set that is much smaller than the cap.
 type queryCache struct {
 	mu sync.RWMutex
 	n  int // capacity in entries
-	m  map[string]*queryCacheEntry
+	m  map[cacheKey]*queryCacheEntry
 }
 
 func newQueryCache(n int) *queryCache {
-	return &queryCache{n: n, m: make(map[string]*queryCacheEntry, n)}
+	return &queryCache{n: n, m: make(map[cacheKey]*queryCacheEntry, n)}
 }
 
-// get returns the entry for the normalized query when it covers a request
-// for m results at the current epochs, else nil.
-func (qc *queryCache) get(nq string, m int, idxEpoch, srvEpoch uint64) *queryCacheEntry {
+// get returns the entry for the key when it covers a request for m
+// results at the current epochs, else nil.
+func (qc *queryCache) get(key cacheKey, m int, idxEpoch, srvEpoch uint64) *queryCacheEntry {
 	qc.mu.RLock()
-	e := qc.m[nq]
+	e := qc.m[key]
 	qc.mu.RUnlock()
 	if e == nil || !e.covers(m, idxEpoch, srvEpoch) {
 		return nil
@@ -58,16 +70,16 @@ func (qc *queryCache) get(nq string, m int, idxEpoch, srvEpoch uint64) *queryCac
 	return e
 }
 
-// put stores (or replaces) the entry for the normalized query.
-func (qc *queryCache) put(nq string, e *queryCacheEntry) {
+// put stores (or replaces) the entry for the key.
+func (qc *queryCache) put(key cacheKey, e *queryCacheEntry) {
 	qc.mu.Lock()
-	if _, ok := qc.m[nq]; !ok && len(qc.m) >= qc.n {
+	if _, ok := qc.m[key]; !ok && len(qc.m) >= qc.n {
 		for k := range qc.m {
 			delete(qc.m, k)
 			break
 		}
 	}
-	qc.m[nq] = e
+	qc.m[key] = e
 	qc.mu.Unlock()
 }
 

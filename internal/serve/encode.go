@@ -15,9 +15,11 @@ import (
 
 // appendRankResponse appends the /rank response body for results to b:
 // the wire form of RankResponse, one object per served slot.
-func appendRankResponse(b []byte, query string, epoch uint64, results []Result) []byte {
+func appendRankResponse(b []byte, query, arm string, epoch uint64, results []Result) []byte {
 	b = append(b, `{"query":`...)
 	b = appendJSONString(b, query)
+	b = append(b, `,"arm":`...)
+	b = appendJSONString(b, arm)
 	b = append(b, `,"epoch":`...)
 	b = strconv.AppendUint(b, epoch, 10)
 	b = append(b, `,"results":[`...)

@@ -29,18 +29,22 @@ func TestAppendRankResponseMatchesEncodingJSON(t *testing.T) {
 		{1e21, 5e-300, math.MaxFloat64},
 		{3, 1e20, 7e-7},
 	}
+	// Arm names ride the same string encoder as queries; cycle a few
+	// including one that needs escaping.
+	arms := []string{"default", "treat\"ment", "ünïtrol"}
 	for qi, q := range queries {
 		results := make([]Result, len(pops[qi%len(pops)]))
 		for i, p := range pops[qi%len(pops)] {
 			results[i] = Result{ID: i*7 - 3, Popularity: p, Promoted: i%2 == 0}
 		}
-		got := appendRankResponse(nil, q, uint64(qi)*17, results)
+		arm := arms[qi%len(arms)]
+		got := appendRankResponse(nil, q, arm, uint64(qi)*17, results)
 
 		var decoded RankResponse
 		if err := json.Unmarshal(got, &decoded); err != nil {
 			t.Fatalf("query %q: encoder produced invalid JSON %q: %v", q, got, err)
 		}
-		want := RankResponse{Query: q, Epoch: uint64(qi) * 17, Results: make([]RankedItem, len(results))}
+		want := RankResponse{Query: q, Arm: arm, Epoch: uint64(qi) * 17, Results: make([]RankedItem, len(results))}
 		for i, res := range results {
 			want.Results[i] = RankedItem{Slot: i + 1, ID: res.ID, Popularity: res.Popularity, Promoted: res.Promoted}
 		}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// serveGoldenSlot is one expected served slot of the golden table.
+type serveGoldenSlot struct {
+	ID         int
+	Popularity float64
+	Promoted   bool
+}
+
+// serveGoldenPolicies maps the golden table's policy names to the
+// offline struct form the pre-refactor corpus was configured with.
+var serveGoldenPolicies = map[string]core.Policy{
+	"selective_k1_r03": {Rule: core.RuleSelective, K: 1, R: 0.3},
+	"selective_k2_r01": {Rule: core.RuleSelective, K: 2, R: 0.1},
+	"uniform_k1_r03":   {Rule: core.RuleUniform, K: 1, R: 0.3},
+	"none":             {Rule: core.RuleNone, K: 1},
+}
+
+// goldenServeCorpus builds the golden table's fixed corpus: 3 shards,
+// seed 5, PoolCap 4, 40 pages with descending popularity and every
+// fourth page zero-awareness.
+func goldenServeCorpus(t *testing.T, pol core.Policy) *Corpus {
+	t.Helper()
+	c := newTestCorpus(t, Config{Shards: 3, Seed: 5, PoolCap: 4, Policy: pol})
+	for i := 0; i < 40; i++ {
+		pop := float64(40 - i)
+		if i%4 == 0 {
+			pop = 0
+		}
+		if err := c.Add(i, fmt.Sprintf("golden topic page%d", i), pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	return c
+}
+
+// serveGoldens are RankSeeded outputs recorded from the pre-refactor
+// serving path (its own promotion-sampling merge, before the rank path
+// was rebuilt on internal/policy) at fixed seeds, covering both the
+// browse (empty query) and query paths under every rule. A single
+// skipped, added or reordered RNG draw anywhere in candidate assembly,
+// reservoir sampling or the merge breaks these rows.
+var serveGoldens = []struct {
+	policy string
+	query  string
+	seed   uint64
+	want   []serveGoldenSlot
+}{
+	{"selective_k1_r03", "", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {36, 0, true}, {10, 30, false}, {28, 0, true}, {12, 0, true}, {11, 29, false}}},
+	{"selective_k1_r03", "golden topic", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {12, 0, true}, {10, 30, false}, {24, 0, true}, {4, 0, true}, {11, 29, false}}},
+	{"selective_k1_r03", "", 2, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {36, 0, true}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {20, 0, true}}},
+	{"selective_k1_r03", "golden topic", 2, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {12, 0, true}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {32, 0, true}}},
+	{"selective_k1_r03", "", 3, []serveGoldenSlot{{32, 0, true}, {1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {4, 0, true}, {20, 0, true}, {0, 0, true}, {7, 33, false}, {9, 31, false}, {10, 30, false}}},
+	{"selective_k1_r03", "golden topic", 3, []serveGoldenSlot{{36, 0, true}, {1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {16, 0, true}, {32, 0, true}, {0, 0, true}, {7, 33, false}, {9, 31, false}, {10, 30, false}}},
+	{"selective_k2_r01", "", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {36, 0, true}, {11, 29, false}, {28, 0, true}, {12, 0, true}}},
+	{"selective_k2_r01", "golden topic", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {12, 0, true}, {11, 29, false}, {24, 0, true}, {4, 0, true}}},
+	{"selective_k2_r01", "", 2, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"selective_k2_r01", "golden topic", 2, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"selective_k2_r01", "", 3, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"selective_k2_r01", "golden topic", 3, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"uniform_k1_r03", "", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {4, 0, true}, {6, 34, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {7, 33, true}, {8, 0, true}, {14, 26, false}}},
+	{"uniform_k1_r03", "golden topic", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {35, 5, true}, {3, 37, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {16, 0, true}, {11, 29, false}, {25, 15, true}, {13, 27, false}, {14, 26, false}}},
+	{"uniform_k1_r03", "", 2, []serveGoldenSlot{{36, 0, true}, {2, 38, false}, {5, 35, false}, {6, 34, false}, {9, 31, false}, {11, 29, false}, {13, 27, false}, {1, 39, true}, {14, 26, false}, {20, 0, true}, {15, 25, false}, {0, 0, false}}},
+	{"uniform_k1_r03", "golden topic", 2, []serveGoldenSlot{{1, 39, false}, {2, 38, true}, {3, 37, false}, {27, 13, true}, {26, 14, true}, {6, 34, false}, {9, 31, false}, {10, 30, false}, {0, 0, true}, {39, 1, true}, {11, 29, false}, {13, 27, false}}},
+	{"uniform_k1_r03", "", 3, []serveGoldenSlot{{1, 39, false}, {4, 0, true}, {2, 38, false}, {9, 31, true}, {5, 35, false}, {6, 34, false}, {13, 27, true}, {7, 33, false}, {10, 30, false}, {11, 29, false}, {14, 26, false}, {16, 0, true}}},
+	{"uniform_k1_r03", "golden topic", 3, []serveGoldenSlot{{2, 38, true}, {1, 39, false}, {3, 37, false}, {17, 23, true}, {5, 35, false}, {7, 33, false}, {23, 17, true}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {18, 22, false}}},
+	{"none", "", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"none", "golden topic", 1, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"none", "", 2, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"none", "golden topic", 2, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"none", "", 3, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+	{"none", "golden topic", 3, []serveGoldenSlot{{1, 39, false}, {2, 38, false}, {3, 37, false}, {5, 35, false}, {6, 34, false}, {7, 33, false}, {9, 31, false}, {10, 30, false}, {11, 29, false}, {13, 27, false}, {14, 26, false}, {15, 25, false}}},
+}
+
+// TestServeGoldenDeterminism asserts the rebuilt rank path — candidate
+// assembly through the arm's policy selection, promotion reservoir, and
+// the shared internal/policy merge — reproduces the pre-refactor serve
+// outputs byte-for-byte at fixed seeds, browse and query paths alike.
+func TestServeGoldenDeterminism(t *testing.T) {
+	corpora := map[string]*Corpus{}
+	for _, g := range serveGoldens {
+		c, ok := corpora[g.policy]
+		if !ok {
+			pol, found := serveGoldenPolicies[g.policy]
+			if !found {
+				t.Fatalf("unknown golden policy %q", g.policy)
+			}
+			c = goldenServeCorpus(t, pol)
+			corpora[g.policy] = c
+		}
+		got, err := c.RankSeeded(g.query, 12, g.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(g.want) {
+			t.Fatalf("%s query %q seed %d: served %d results, want %d",
+				g.policy, g.query, g.seed, len(got), len(g.want))
+		}
+		for i, w := range g.want {
+			if got[i].ID != w.ID || got[i].Popularity != w.Popularity || got[i].Promoted != w.Promoted {
+				t.Errorf("%s query %q seed %d slot %d: got %+v, want %+v",
+					g.policy, g.query, g.seed, i+1, got[i], w)
+			}
+		}
+	}
+}
+
+// TestServeGoldenViaSingleArm: declaring the same policy as an explicit
+// one-arm experiment serves the identical bytes — the arms layer adds no
+// RNG draws on the single-arm path.
+func TestServeGoldenViaSingleArm(t *testing.T) {
+	for name, pol := range serveGoldenPolicies {
+		spec := policySpec(Config{Policy: pol})
+		c := newTestCorpus(t, Config{
+			Shards: 3, Seed: 5, PoolCap: 4,
+			Arms: []Arm{{Name: "solo", Policy: spec, Weight: 3}},
+		})
+		for i := 0; i < 40; i++ {
+			pop := float64(40 - i)
+			if i%4 == 0 {
+				pop = 0
+			}
+			if err := c.Add(i, fmt.Sprintf("golden topic page%d", i), pop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Sync()
+		for _, g := range serveGoldens {
+			if g.policy != name {
+				continue
+			}
+			got, armName, err := c.RankUnitSeeded("any-unit", g.query, 12, g.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if armName != "solo" {
+				t.Fatalf("served by arm %q, want solo", armName)
+			}
+			for i, w := range g.want {
+				if got[i].ID != w.ID || got[i].Promoted != w.Promoted {
+					t.Errorf("%s (as arm) query %q seed %d slot %d: got %+v, want %+v",
+						name, g.query, g.seed, i+1, got[i], w)
+				}
+			}
+		}
+	}
+}

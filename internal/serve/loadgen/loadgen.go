@@ -53,6 +53,12 @@ type Config struct {
 	QueryFraction float64
 	// N is the result-list length requested (default serve.DefaultTopN).
 	N int
+	// Units is how many distinct experiment units (simulated users) each
+	// worker cycles through; every rank request carries one, so the
+	// service's arm bucketing is stable per unit (default 16). Negative
+	// sends no unit IDs at all (the service then draws arms by weight
+	// per request).
+	Units int
 	// Quality maps a page id to the probability a visiting user clicks it
 	// (the paper's page quality). Nil means nobody ever clicks.
 	Quality func(id int) float64
@@ -79,6 +85,9 @@ func (c Config) withDefaults() Config {
 	if c.FeedbackBatch <= 0 {
 		c.FeedbackBatch = 20
 	}
+	if c.Units == 0 {
+		c.Units = 16
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -88,9 +97,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// PathReport carries one request path's latency percentiles.
+// PathReport carries one request path's (or experiment arm's) request
+// count, throughput share and latency percentiles.
 type PathReport struct {
 	Requests      int
+	QPS           float64
 	P50, P90, P99 time.Duration
 	Max           time.Duration
 }
@@ -111,6 +122,11 @@ type Report struct {
 	// id-ranking path (Config.Query, usually the whole corpus), Query
 	// covers the search-query path.
 	Browse, Query PathReport
+	// Arms splits the measurements by the experiment arm that served each
+	// request (from the rank response), so a multi-arm service shows
+	// arm-level p50/p90/p99 and QPS. Single implicit-arm services report
+	// one entry.
+	Arms map[string]PathReport
 }
 
 // String renders the report as a compact human-readable block.
@@ -125,18 +141,32 @@ func (r *Report) String() string {
 			r.Browse.Requests, r.Browse.P50, r.Browse.P99, r.Browse.Max,
 			r.Query.Requests, r.Query.P50, r.Query.P99, r.Query.Max)
 	}
+	if len(r.Arms) > 1 {
+		names := make([]string, 0, len(r.Arms))
+		for name := range r.Arms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			a := r.Arms[name]
+			s += fmt.Sprintf("\narm %-12s (%d, %.0f QPS): p50 %v  p90 %v  p99 %v  max %v",
+				name, a.Requests, a.QPS, a.P50, a.P90, a.P99, a.Max)
+		}
+	}
 	return s + fmt.Sprintf("\nfeedback: %d posts, %d impressions, %d clicks",
 		r.FeedbackPosts, r.Impressions, r.Clicks)
 }
 
 type worker struct {
 	cfg     Config
+	idx     int
 	rng     *randutil.RNG
 	att     *attention.Model
 	pending []serve.Event
 
-	latencies []time.Duration // browse-path samples
-	queryLats []time.Duration // query-path samples
+	latencies []time.Duration            // browse-path samples
+	queryLats []time.Duration            // query-path samples
+	armLats   map[string][]time.Duration // per-serving-arm samples
 	report    Report
 }
 
@@ -154,7 +184,13 @@ func Run(cfg Config) (*Report, error) {
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := range workers {
-		w := &worker{cfg: cfg, rng: randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15), att: att}
+		w := &worker{
+			cfg:     cfg,
+			idx:     i,
+			rng:     randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15),
+			att:     att,
+			armLats: map[string][]time.Duration{},
+		}
 		workers[i] = w
 		// Split the request budget evenly; the first workers take the
 		// remainder.
@@ -169,8 +205,9 @@ func Run(cfg Config) (*Report, error) {
 		}()
 	}
 	wg.Wait()
-	total := &Report{Duration: time.Since(start)}
+	total := &Report{Duration: time.Since(start), Arms: map[string]PathReport{}}
 	var browse, query []time.Duration
+	armLats := map[string][]time.Duration{}
 	for _, w := range workers {
 		total.Requests += w.report.Requests
 		total.Errors += w.report.Errors
@@ -179,6 +216,9 @@ func Run(cfg Config) (*Report, error) {
 		total.Clicks += w.report.Clicks
 		browse = append(browse, w.latencies...)
 		query = append(query, w.queryLats...)
+		for arm, lats := range w.armLats {
+			armLats[arm] = append(armLats[arm], lats...)
+		}
 	}
 	if total.Duration > 0 {
 		total.QPS = float64(total.Requests) / total.Duration.Seconds()
@@ -190,8 +230,18 @@ func Run(cfg Config) (*Report, error) {
 		overall := pathStats(all)
 		total.P50, total.P90, total.P99, total.Max = overall.P50, overall.P90, overall.P99, overall.Max
 	}
-	total.Browse = pathStats(browse)
-	total.Query = pathStats(query)
+	secs := total.Duration.Seconds()
+	withQPS := func(pr PathReport) PathReport {
+		if secs > 0 {
+			pr.QPS = float64(pr.Requests) / secs
+		}
+		return pr
+	}
+	total.Browse = withQPS(pathStats(browse))
+	total.Query = withQPS(pathStats(query))
+	for arm, lats := range armLats {
+		total.Arms[arm] = withQPS(pathStats(lats))
+	}
 	return total, nil
 }
 
@@ -221,13 +271,20 @@ func (w *worker) run(requests int) {
 		if len(w.cfg.Queries) > 0 && w.rng.Bernoulli(w.cfg.QueryFraction) {
 			query, isQuery = w.cfg.Queries[w.rng.Intn(len(w.cfg.Queries))], true
 		}
-		items, err := w.rank(query, isQuery)
+		unit := ""
+		if w.cfg.Units > 0 {
+			// Each worker cycles a stable pool of simulated users, so the
+			// service's deterministic unit bucketing keeps every user on
+			// one arm across the run.
+			unit = fmt.Sprintf("w%d-u%d", w.idx, w.rng.Intn(w.cfg.Units))
+		}
+		items, arm, err := w.rank(query, unit, isQuery)
 		if err != nil {
 			w.report.Errors++
 			continue
 		}
 		w.report.Requests++
-		w.observe(items)
+		w.observe(items, arm)
 		if len(w.pending) >= w.cfg.FeedbackBatch {
 			w.flush()
 		}
@@ -235,45 +292,48 @@ func (w *worker) run(requests int) {
 	w.flush()
 }
 
-func (w *worker) rank(query string, isQuery bool) ([]serve.RankedItem, error) {
-	body, err := json.Marshal(serve.RankRequest{Query: query, N: w.cfg.N})
+func (w *worker) rank(query, unit string, isQuery bool) ([]serve.RankedItem, string, error) {
+	body, err := json.Marshal(serve.RankRequest{Query: query, N: w.cfg.N, Unit: unit})
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	start := time.Now()
 	resp, err := w.cfg.Client.Post(w.cfg.BaseURL+"/rank", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil, fmt.Errorf("loadgen: /rank status %d", resp.StatusCode)
+		return nil, "", fmt.Errorf("loadgen: /rank status %d", resp.StatusCode)
 	}
 	var rr serve.RankResponse
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	// Only successful, fully decoded requests contribute latency
 	// samples; Report.Requests counts exactly these.
+	lat := time.Since(start)
 	if isQuery {
-		w.queryLats = append(w.queryLats, time.Since(start))
+		w.queryLats = append(w.queryLats, lat)
 	} else {
-		w.latencies = append(w.latencies, time.Since(start))
+		w.latencies = append(w.latencies, lat)
 	}
-	return rr.Results, nil
+	w.armLats[rr.Arm] = append(w.armLats[rr.Arm], lat)
+	return rr.Results, rr.Arm, nil
 }
 
 // observe simulates one user on one result list: every served slot is an
 // impression; one attention-sampled position is visited and clicked with
-// probability equal to the page's quality.
-func (w *worker) observe(items []serve.RankedItem) {
+// probability equal to the page's quality. Events carry the serving arm
+// so the service's per-arm telemetry attributes correctly.
+func (w *worker) observe(items []serve.RankedItem, arm string) {
 	if len(items) == 0 {
 		return
 	}
 	visit := w.att.SampleRank(w.rng)
 	for _, it := range items {
-		e := serve.Event{Page: it.ID, Slot: it.Slot, Impressions: 1}
+		e := serve.Event{Page: it.ID, Slot: it.Slot, Impressions: 1, Arm: arm}
 		if it.Slot == visit && w.cfg.Quality != nil && w.rng.Bernoulli(w.cfg.Quality(it.ID)) {
 			e.Clicks = 1
 			w.report.Clicks++

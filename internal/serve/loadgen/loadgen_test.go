@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/policy"
 	"repro/internal/serve"
 )
 
@@ -113,6 +114,112 @@ func TestLoadRunPromotesPlantedGem(t *testing.T) {
 	}
 	if st.Dropped != 0 {
 		t.Fatalf("dropped %d events", st.Dropped)
+	}
+}
+
+// TestTwoArmExperimentRun is the tentpole's acceptance run: a
+// deterministic control arm against the paper's selective treatment,
+// mixed browse/query workload, unit-bucketed simulated users. The
+// selective arm must surface (and get clicked on) zero-awareness gems
+// the deterministic arm cannot serve at all, which shows up as per-arm
+// discovery counts; the report must break latency and QPS out per arm.
+func TestTwoArmExperimentRun(t *testing.T) {
+	const established = 24
+	c, err := serve.NewCorpus(serve.Config{
+		Shards: 4,
+		Seed:   31,
+		Arms: []serve.Arm{
+			{Name: "control", Policy: policy.Spec{Rule: policy.RuleDeterministic}, Weight: 1},
+			{Name: "treatment", Policy: policy.Spec{Rule: policy.RuleSelective, K: 1, R: 0.25}, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	gems := map[int]bool{}
+	for i := 0; i < established; i++ {
+		if err := c.Add(i, fmt.Sprintf("gadgets review page%d", i), float64(established-i)*0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Several planted zero-awareness gems: only randomized promotion can
+	// surface them.
+	for id := 990; id < 998; id++ {
+		gems[id] = true
+		if err := c.Add(id, fmt.Sprintf("gadgets review gem%d", id), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+
+	srv := httptest.NewServer(serve.NewServer(c))
+	defer srv.Close()
+
+	report, err := Run(Config{
+		BaseURL:  srv.URL,
+		Workers:  4,
+		Requests: 1200,
+		N:        15,
+		Units:    32,
+		Seed:     3,
+		Queries:  []string{"gadgets review"},
+		Quality: func(id int) float64 {
+			if gems[id] {
+				return 0.9
+			}
+			return 0.02
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("two-arm run had %d errors: %v", report.Errors, report)
+	}
+	c.Sync()
+
+	// Per-arm latency/QPS breakdown: both arms exercised, plausible
+	// percentiles, request counts conserved.
+	if len(report.Arms) != 2 {
+		t.Fatalf("report tracks %d arms, want 2: %+v", len(report.Arms), report.Arms)
+	}
+	armRequests := 0
+	for name, pr := range report.Arms {
+		if pr.Requests == 0 {
+			t.Fatalf("arm %q received no requests", name)
+		}
+		if pr.P50 <= 0 || pr.P99 < pr.P50 || pr.Max < pr.P99 || pr.QPS <= 0 {
+			t.Fatalf("implausible arm %q stats: %+v", name, pr)
+		}
+		armRequests += pr.Requests
+	}
+	if armRequests != report.Requests {
+		t.Fatalf("arm requests %d != total %d", armRequests, report.Requests)
+	}
+	if s := report.String(); !strings.Contains(s, "arm control") || !strings.Contains(s, "arm treatment") {
+		t.Fatalf("report omits per-arm breakdown:\n%s", s)
+	}
+
+	// The experiment's point: the selective treatment discovers gems, the
+	// deterministic control cannot discover anything (it never serves a
+	// zero-awareness page, so no gem's first click can come from it).
+	byName := map[string]serve.ArmReport{}
+	for _, a := range c.Arms() {
+		byName[a.Name] = a
+	}
+	ctrl, treat := byName["control"], byName["treatment"]
+	if ctrl.Requests == 0 || treat.Requests == 0 {
+		t.Fatalf("arms unexercised on the corpus side: %+v / %+v", ctrl, treat)
+	}
+	if treat.Discoveries == 0 {
+		t.Fatalf("selective treatment made no discoveries: %+v", treat)
+	}
+	if ctrl.Discoveries != 0 {
+		t.Fatalf("deterministic control claims %d discoveries", ctrl.Discoveries)
+	}
+	if treat.Impressions == 0 || treat.Clicks == 0 {
+		t.Fatalf("treatment telemetry empty: %+v", treat)
 	}
 }
 

@@ -32,8 +32,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/randutil"
 	"repro/internal/rankengine"
 	"repro/internal/searchidx"
@@ -87,12 +89,48 @@ type Config struct {
 	// query's deterministic candidate assembly while the corpus is
 	// unchanged; promotion randomness stays per-request either way.
 	QueryCacheSize int
-	// Policy is the promotion policy applied per query. The zero Policy is
-	// replaced by core.Recommended().
+	// Policy is the promotion policy applied per query when no Arms are
+	// declared. The zero Policy is replaced by core.Recommended().
 	Policy core.Policy
+	// Arms declares named experiment arms served side by side; requests
+	// are assigned an arm by deterministic hash of their unit ID (or by a
+	// weighted per-request draw without one). When non-empty, Arms takes
+	// precedence over Policy.
+	Arms []Arm
 	// Seed drives all service randomness (per-request merge RNGs, pool
 	// sampling). Zero means seed 1.
 	Seed uint64
+}
+
+// Validate reports the first problem with the configuration, or nil.
+// Zero sizing fields are legal (they select defaults) and a negative
+// QueryCacheSize disables the cache; any other negative size is an
+// error, caught here rather than panicking deep in shard setup. When
+// Arms are declared, Policy is ignored (the arms carry the policies), so
+// it is not checked.
+func (c Config) Validate() error {
+	switch {
+	case c.Shards < 0:
+		return fmt.Errorf("serve: Shards must be >= 0 (0 = default), got %d", c.Shards)
+	case c.TopK < 0:
+		return fmt.Errorf("serve: TopK must be >= 0 (0 = default), got %d", c.TopK)
+	case c.PoolCap < 0:
+		return fmt.Errorf("serve: PoolCap must be >= 0 (0 = default), got %d", c.PoolCap)
+	case c.QueueLen < 0:
+		return fmt.Errorf("serve: QueueLen must be >= 0 (0 = default), got %d", c.QueueLen)
+	}
+	if len(c.Arms) > 0 {
+		// Arm names, weights and policy specs are validated by the single
+		// arm-construction path.
+		_, err := buildArms(c.withDefaults())
+		return err
+	}
+	if p := c.Policy; p != (core.Policy{}) {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +170,11 @@ type Event struct {
 	Slot        int `json:"slot"`
 	Impressions int `json:"impressions"`
 	Clicks      int `json:"clicks"`
+	// Arm attributes the event to the experiment arm that served the
+	// impression (echoed from the rank response). Empty or unknown names
+	// still apply to popularity and awareness; they just credit no arm's
+	// telemetry.
+	Arm string `json:"arm,omitempty"`
 }
 
 // Stat is a page's current serving state. Values handed out are immutable
@@ -144,6 +187,9 @@ type Stat struct {
 	// Impressions and Clicks are lifetime feedback totals for the page.
 	Impressions int64
 	Clicks      int64
+	// firstImpNanos is the wall-clock time the page's first impression
+	// was applied, for time-to-first-click telemetry (0 = never shown).
+	firstImpNanos int64
 }
 
 // Result is one served result slot.
@@ -175,6 +221,9 @@ type Stats struct {
 	QueryCacheHits    uint64
 	QueryCacheMisses  uint64
 	QueryCacheEntries int
+	// Arms is each experiment arm's accounting, in declaration order (a
+	// single implicit arm when Config.Arms was empty).
+	Arms []ArmReport
 }
 
 // applyReq is one message to a shard's apply loop.
@@ -194,6 +243,14 @@ type snapshot struct {
 type shard struct {
 	cfg Config
 	ch  chan applyReq
+
+	// arms resolves feedback attribution to the shared per-arm counters;
+	// pages and zeroAware are the corpus-wide population counters the
+	// state-dependent policies read. All are written by apply loops only
+	// through atomics.
+	arms      map[string]*armState
+	pages     *atomic.Int64
+	zeroAware *atomic.Int64
 
 	// stats maps page id -> *Stat. Written only by the apply loop (and by
 	// nothing after Close); read lock-free by every request.
@@ -223,6 +280,14 @@ type Corpus struct {
 	slots  slotCounters
 	wg     sync.WaitGroup
 
+	// arms holds the experiment arms in declaration order; armIdx indexes
+	// them by name. pages and zeroAware count the corpus population for
+	// the state-dependent policies (maintained by the apply loops).
+	arms      []*armState
+	armIdx    map[string]*armState
+	pages     atomic.Int64
+	zeroAware atomic.Int64
+
 	idxMu sync.Mutex // serializes Add's index insert + birth-seq pairing
 	idx   *searchidx.Index
 	seq   int // birth sequence, guarded by idxMu
@@ -235,14 +300,26 @@ type Corpus struct {
 	scratch sync.Pool // *reqScratch
 }
 
-// NewCorpus builds an empty live corpus and starts one apply goroutine
-// per shard. Callers must Close it to stop them.
+// NewCorpus validates the configuration, builds an empty live corpus and
+// starts one apply goroutine per shard. Callers must Close it to stop
+// them.
 func NewCorpus(cfg Config) (*Corpus, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Policy.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	// Validate is the only gate: sizing fields, then either the arm
+	// declarations (via buildArms) or the single Policy — never both, so
+	// a pre-checked config cannot fail construction.
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex()}
+	cfg = cfg.withDefaults()
+	arms, err := buildArms(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), arms: arms}
+	c.armIdx = make(map[string]*armState, len(arms))
+	for _, a := range arms {
+		c.armIdx[a.name] = a
+	}
 	if cfg.QueryCacheSize > 0 {
 		c.qcache = newQueryCache(cfg.QueryCacheSize)
 	}
@@ -255,12 +332,15 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	c.shards = make([]*shard, cfg.Shards)
 	for i := range c.shards {
 		sh := &shard{
-			cfg:     cfg,
-			slots:   &c.slots,
-			ch:      make(chan applyReq, cfg.QueueLen),
-			treap:   rankengine.New(cfg.Seed + uint64(i)*2654435761),
-			poolPos: make(map[int]int),
-			rng:     randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
+			cfg:       cfg,
+			slots:     &c.slots,
+			arms:      c.armIdx,
+			pages:     &c.pages,
+			zeroAware: &c.zeroAware,
+			ch:        make(chan applyReq, cfg.QueueLen),
+			treap:     rankengine.New(cfg.Seed + uint64(i)*2654435761),
+			poolPos:   make(map[int]int),
+			rng:       randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
 		}
 		sh.snap.Store(&snapshot{})
 		c.shards[i] = sh
@@ -272,9 +352,6 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	}
 	return c, nil
 }
-
-// Policy returns the corpus's promotion policy.
-func (c *Corpus) Policy() core.Policy { return c.cfg.Policy }
 
 // Shards returns the shard count.
 func (c *Corpus) Shards() int { return len(c.shards) }
@@ -368,6 +445,7 @@ func (c *Corpus) Page(id int) (Stat, bool) {
 // maps, so it is O(pages) — telemetry, not a hot path.
 func (c *Corpus) Stats() Stats {
 	var s Stats
+	s.Arms = c.Arms()
 	s.QueryCacheHits = c.cacheHits.Load()
 	s.QueryCacheMisses = c.cacheMisses.Load()
 	if c.qcache != nil {
@@ -419,7 +497,7 @@ func (c *Corpus) Epoch() uint64 {
 // steady-state Rank call allocates only its result slice.
 type reqScratch struct {
 	rng     *randutil.RNG
-	sc      core.Scratch
+	sc      policy.Scratch
 	det     []int
 	pool    []int
 	ids     []int
@@ -431,50 +509,78 @@ type reqScratch struct {
 }
 
 // Rank serves one query: lock-free candidate assembly, one
-// promotion-sampling merge pass under the corpus policy, at most n
-// results. An empty query ranks the whole corpus by merging the shard
+// promotion-sampling merge pass under the assigned arm's policy, at most
+// n results. An empty query ranks the whole corpus by merging the shard
 // top-list snapshots; a non-empty query ranks the conjunctive matches
 // from the search index. Each call randomizes independently, the way
-// every user query sees a fresh merge.
+// every user query sees a fresh merge. With multiple arms and no unit
+// ID, the arm is drawn by weight per request.
 func (c *Corpus) Rank(query string, n int) ([]Result, error) {
-	return c.rankInto(query, n, nil, nil)
+	res, _, err := c.rankInto(query, n, nil, "", nil, nil)
+	return res, err
 }
 
 // RankSeeded is Rank with caller-controlled randomness, for reproducible
 // tests and benchmarks.
 func (c *Corpus) RankSeeded(query string, n int, seed uint64) ([]Result, error) {
-	return c.rankInto(query, n, &seed, nil)
+	res, _, err := c.rankInto(query, n, &seed, "", nil, nil)
+	return res, err
+}
+
+// RankUnit serves a request on behalf of the given experiment unit (a
+// user or session ID): the unit hashes deterministically to an arm, so
+// the same unit always sees the same policy at a fixed arm set. It
+// returns the serving arm's name for feedback attribution.
+func (c *Corpus) RankUnit(unit, query string, n int) ([]Result, string, error) {
+	return c.rankInto(query, n, nil, unit, nil, nil)
+}
+
+// RankUnitSeeded is RankUnit with caller-controlled merge randomness.
+func (c *Corpus) RankUnitSeeded(unit, query string, n int, seed uint64) ([]Result, string, error) {
+	return c.rankInto(query, n, &seed, unit, nil, nil)
 }
 
 // rankInto is the request entry shared by the public API and the HTTP
 // handler: results are appended to dst (which may be nil), so a pooled
-// caller pays no result allocation either.
-func (c *Corpus) rankInto(query string, n int, seed *uint64, dst []Result) ([]Result, error) {
+// caller pays no result allocation either. forced, when non-nil,
+// overrides arm assignment.
+func (c *Corpus) rankInto(query string, n int, seed *uint64, unit string, forced *armState, dst []Result) ([]Result, string, error) {
 	rs := c.scratch.Get().(*reqScratch)
 	defer c.scratch.Put(rs)
 	rng := rs.rng
 	if seed != nil {
 		rng = randutil.New(*seed)
 	}
-	return c.rank(query, n, rng, rs, dst)
+	arm := forced
+	if arm == nil {
+		arm = c.armFor(unit, rng)
+	}
+	res, err := c.rank(arm, query, n, rng, rs, dst)
+	return res, arm.name, err
 }
 
-func (c *Corpus) rank(query string, n int, rng *randutil.RNG, rs *reqScratch, dst []Result) ([]Result, error) {
+func (c *Corpus) rank(arm *armState, query string, n int, rng *randutil.RNG, rs *reqScratch, dst []Result) ([]Result, error) {
 	if n <= 0 {
 		n = DefaultTopN
 	}
+	arm.requests.Add(1)
+	// The merge parameters are read once per request; state-dependent
+	// policies (epsilon-decay) observe the live population counters.
+	k, r := arm.pol.Params(policy.State{
+		Pages:     int(c.pages.Load()),
+		ZeroAware: int(c.zeroAware.Load()),
+	})
 	det, pool := rs.det[:0], rs.pool[:0]
 	if query == "" {
-		det, pool = c.browseCandidates(n, det, pool, rng, rs)
+		det, pool = c.browseCandidates(arm.sel, r, n, det, pool, rng, rs)
 	} else {
-		det, pool = c.queryCandidates(query, n, det, pool, rng, rs)
+		det, pool = c.queryCandidates(arm, r, query, n, det, pool, rng, rs)
 	}
 	rs.det, rs.pool = det, pool
-	p := c.cfg.Policy
 	// Pointer sources box without allocating, so the merge pass costs no
 	// per-request interface conversions.
 	merged, fromPool := rs.sc.MergeTagged(
-		(*core.Slice)(&rs.det), (*core.Slice)(&rs.pool), p.K, p.R, rng)
+		(*policy.Slice)(&rs.det), (*policy.Slice)(&rs.pool), k, r, rng)
 	if len(merged) > n {
 		merged, fromPool = merged[:n], fromPool[:n]
 	}
@@ -538,8 +644,9 @@ func (c *Corpus) loadSnapshots(rs *reqScratch) []*snapshot {
 // ranking from the shard snapshots: a k-way merge of the deterministic
 // top-lists (stopping once n det entries are in hand — promotion can only
 // shorten the deterministic need) and the concatenated zero-awareness
-// samples, split per the policy rule. Entirely lock-free.
-func (c *Corpus) browseCandidates(n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int) {
+// samples, split per the arm policy's selection rule at degree of
+// randomization r. Entirely lock-free.
+func (c *Corpus) browseCandidates(sel policy.Selection, r float64, n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int) {
 	snaps := c.loadSnapshots(rs)
 	appendRanked := func(dst []int, limit int) []int {
 		mergeSnapshotTops(snaps, rs.heads, func(e rankengine.Entry) bool {
@@ -548,13 +655,13 @@ func (c *Corpus) browseCandidates(n int, det, pool []int, rng *randutil.RNG, rs 
 		})
 		return dst
 	}
-	switch c.cfg.Policy.Rule {
-	case core.RuleSelective:
+	switch sel {
+	case policy.SelectUnexplored:
 		det = appendRanked(det, n)
 		for _, sn := range snaps {
 			pool = append(pool, sn.pool...)
 		}
-	case core.RuleUniform:
+	case policy.SelectCoin:
 		// The uniform rule pools every result page independently with
 		// probability r; zero-awareness pages are ordinary bottom-ranked
 		// candidates here.
@@ -564,13 +671,13 @@ func (c *Corpus) browseCandidates(n int, det, pool []int, rng *randutil.RNG, rs 
 		}
 		rs.ids = ranked
 		for _, id := range ranked {
-			if rng.Bernoulli(c.cfg.Policy.R) {
+			if rng.Bernoulli(r) {
 				pool = append(pool, id)
 			} else {
 				det = append(det, id)
 			}
 		}
-	default: // RuleNone: pure popularity order, unexplored tail last.
+	default: // SelectNone: pure popularity order, unexplored tail last.
 		det = appendRanked(det, n)
 		for _, sn := range snaps {
 			if len(det) >= n {
@@ -685,22 +792,25 @@ func heapSort(best []Stat) {
 // Shards×PoolCap promotion sample — so per-request work and retained
 // scratch are bounded by n + the pool cap, not by match count.
 //
-// Under the selective and none rules the deterministic assembly is
-// memoized in the hot-query cache: a hit skips retrieval, stat loads and
-// top-K selection entirely, then replays the promotion reservoir and the
-// merge with fresh per-request randomness — byte-identical to the
-// uncached path at the same RNG seed. The uniform rule draws a coin per
+// Under the unexplored-pool and promotion-free selection rules the
+// deterministic assembly is memoized in the hot-query cache, keyed by
+// (arm, normalized query): arms rank the same candidates under different
+// policies, so the arm name prefixes every key and hot-query memoization
+// applies per arm. A hit skips retrieval, stat loads and top-K selection
+// entirely, then replays the promotion reservoir and the merge with
+// fresh per-request randomness — byte-identical to the uncached path at
+// the same RNG seed. The coin selection rule (uniform) draws per
 // candidate to form the pool, so its assembly is inherently per-request
 // and bypasses the cache.
-func (c *Corpus) queryCandidates(query string, n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int) {
+func (c *Corpus) queryCandidates(arm *armState, r float64, query string, n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int) {
 	snap := c.idx.Snapshot()
-	rule, r := c.cfg.Policy.Rule, c.cfg.Policy.R
+	sel := arm.sel
 	poolCap := c.cfg.PoolCap * len(c.shards)
-	cacheable := c.qcache != nil && rule != core.RuleUniform
-	var nq string
+	cacheable := c.qcache != nil && sel != policy.SelectCoin
+	var key cacheKey
 	if cacheable {
-		nq = searchidx.NormalizeQuery(query)
-		if e := c.qcache.get(nq, n, snap.Epoch(), c.Epoch()); e != nil {
+		key = cacheKey{arm: arm.name, query: searchidx.NormalizeQuery(query)}
+		if e := c.qcache.get(key, n, snap.Epoch(), c.Epoch()); e != nil {
 			c.cacheHits.Add(1)
 			det = append(det, e.det[:min(n, len(e.det))]...)
 			pool = reservoirInto(pool, e.pool, poolCap, rng)
@@ -719,7 +829,7 @@ func (c *Corpus) queryCandidates(query string, n int, det, pool []int, rng *rand
 	}
 	best := rs.cand[:0]
 	poolAll := rs.poolAll[:0]
-	if rule == core.RuleUniform {
+	if sel == policy.SelectCoin {
 		poolSeen := 0
 		for _, id32 := range ids {
 			id := int(id32)
@@ -756,7 +866,7 @@ func (c *Corpus) queryCandidates(query string, n int, det, pool []int, rng *rand
 			// through the pointer and copy only the candidates it keeps.
 			st := v.(*Stat)
 			switch {
-			case rule == core.RuleSelective && !st.Aware:
+			case sel == policy.SelectUnexplored && !st.Aware:
 				poolAll = append(poolAll, st.ID)
 			case len(best) < n:
 				best = heapPush(best, *st)
@@ -773,10 +883,10 @@ func (c *Corpus) queryCandidates(query string, n int, det, pool []int, rng *rand
 		det = append(det, st.ID)
 	}
 	rs.poolAll = poolAll
-	if rule != core.RuleUniform {
+	if sel != policy.SelectCoin {
 		pool = reservoirInto(pool, poolAll, poolCap, rng)
 		if cacheable && len(poolAll) <= maxCachedPool {
-			c.qcache.put(nq, &queryCacheEntry{
+			c.qcache.put(key, &queryCacheEntry{
 				idxEpoch: idxEpoch,
 				srvEpoch: srvEpoch,
 				n:        n,
@@ -844,9 +954,11 @@ func (sh *shard) applyAdd(st Stat) bool {
 	}
 	stored := st
 	sh.stats.Store(st.ID, &stored)
+	sh.pages.Add(1)
 	if st.Aware {
 		sh.treap.Insert(rankengine.Entry{ID: st.ID, Popularity: st.Popularity, BirthDay: st.Birth})
 	} else {
+		sh.zeroAware.Add(1)
 		sh.poolPos[st.ID] = len(sh.poolIDs)
 		sh.poolIDs = append(sh.poolIDs, st.ID)
 	}
@@ -867,10 +979,25 @@ func (sh *shard) applyEvent(e Event) bool {
 		return false
 	}
 	st := *v.(*Stat)
+	// Arm attribution is best-effort telemetry: events with an empty or
+	// unknown arm name still apply in full, they just credit no arm.
+	arm := sh.arms[e.Arm]
+	// Time-to-first-click measures the gap from an EARLIER event's first
+	// impression to the discovering click, so capture the pre-event value
+	// before stamping: an event carrying both the page's first impression
+	// and its first click contributes no (degenerate ~0) sample.
+	priorFirstImp := st.firstImpNanos
+	if st.Impressions == 0 && e.Impressions > 0 {
+		st.firstImpNanos = time.Now().UnixNano()
+	}
 	st.Impressions += int64(e.Impressions)
 	st.Clicks += int64(e.Clicks)
 	sh.impressions.Add(uint64(e.Impressions))
 	sh.slots.record(e)
+	if arm != nil {
+		arm.impressions.Add(uint64(e.Impressions))
+		arm.clicks.Add(uint64(e.Clicks))
+	}
 	rankChanged := false
 	if e.Clicks > 0 {
 		st.Popularity += float64(e.Clicks)
@@ -881,10 +1008,19 @@ func (sh *shard) applyEvent(e Event) bool {
 		} else {
 			// First click: the page is now explored — promote it out of
 			// the zero-awareness pool into the deterministic ranking
-			// (§4's selective rule).
+			// (§4's selective rule). This is a discovery for the arm that
+			// served the click.
 			st.Aware = true
+			sh.zeroAware.Add(-1)
 			sh.removeFromPool(st.ID)
 			sh.treap.Insert(entry)
+			if arm != nil {
+				arm.discoveries.Add(1)
+				if priorFirstImp > 0 {
+					arm.ttfcSumNanos.Add(time.Now().UnixNano() - priorFirstImp)
+					arm.ttfcCount.Add(1)
+				}
+			}
 		}
 		rankChanged = true
 	}

@@ -63,6 +63,7 @@ func NewServer(c *Corpus) *Server {
 	s.mux.HandleFunc("/rank", s.handleRank)
 	s.mux.HandleFunc("/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/experiment", s.handleExperiment)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -103,6 +104,13 @@ type RankRequest struct {
 	// N is the maximum result count (default DefaultTopN, capped at
 	// MaxTopN).
 	N int `json:"n"`
+	// Unit is the experiment unit (user or session ID): it buckets the
+	// request deterministically into an arm, so the same unit always sees
+	// the same policy. Empty draws an arm by weight per request.
+	Unit string `json:"unit,omitempty"`
+	// Arm, when non-empty, forces the named arm regardless of Unit —
+	// for debugging and holdout probes. Unknown names are a 400.
+	Arm string `json:"arm,omitempty"`
 	// Seed, when non-nil, makes the randomized merge reproducible.
 	Seed *uint64 `json:"seed,omitempty"`
 }
@@ -115,9 +123,12 @@ type RankedItem struct {
 	Promoted   bool    `json:"promoted"`
 }
 
-// RankResponse is the POST /rank reply.
+// RankResponse is the POST /rank reply. Arm names the experiment arm
+// that served the request; clients echo it in feedback events so per-arm
+// telemetry attributes correctly.
 type RankResponse struct {
 	Query   string       `json:"query"`
+	Arm     string       `json:"arm"`
 	Epoch   uint64       `json:"epoch"`
 	Results []RankedItem `json:"results"`
 }
@@ -139,6 +150,14 @@ type SlotStats struct {
 	Clicks      uint64 `json:"clicks"`
 }
 
+// ExperimentResponse is the GET /experiment reply: one row per declared
+// arm with its policy, traffic weight and accumulated telemetry —
+// requests, attributed impressions/clicks, zero-awareness discoveries
+// and mean time-to-first-click.
+type ExperimentResponse struct {
+	Arms []ArmReport `json:"arms"`
+}
+
 // StatsResponse is the GET /stats reply.
 type StatsResponse struct {
 	UptimeSeconds      float64     `json:"uptime_seconds"`
@@ -158,6 +177,7 @@ type StatsResponse struct {
 	QueryCacheEntries  int         `json:"query_cache_entries"`
 	Epochs             []uint64    `json:"epochs"`
 	Slots              []SlotStats `json:"slots"`
+	Arms               []ArmReport `json:"arms"`
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -188,13 +208,23 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if req.N > MaxTopN {
 		req.N = MaxTopN
 	}
+	var forced *armState
+	if req.Arm != "" {
+		a, ok := s.corpus.armByName(req.Arm)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown arm %q", req.Arm)
+			return
+		}
+		forced = a
+	}
 	s.rankRequests.Add(1)
-	sc.results, err = s.corpus.rankInto(req.Query, req.N, req.Seed, sc.results)
+	var armName string
+	sc.results, armName, err = s.corpus.rankInto(req.Query, req.N, req.Seed, req.Unit, forced, sc.results)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sc.out = appendRankResponse(sc.out[:0], req.Query, s.corpus.Epoch(), sc.results)
+	sc.out = appendRankResponse(sc.out[:0], req.Query, armName, s.corpus.Epoch(), sc.results)
 	writeRaw(w, http.StatusOK, sc.out)
 }
 
@@ -246,7 +276,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		UptimeSeconds:      time.Since(s.start).Seconds(),
 		Shards:             s.corpus.Shards(),
-		Policy:             s.corpus.Policy().String(),
+		Policy:             s.corpus.PolicyLabel(),
 		RankRequests:       s.rankRequests.Load(),
 		FeedbackRequests:   s.feedbackRequests.Load(),
 		Pages:              cs.Pages,
@@ -260,6 +290,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueryCacheMisses:   cs.QueryCacheMisses,
 		QueryCacheEntries:  cs.QueryCacheEntries,
 		Epochs:             cs.Epochs,
+		Arms:               cs.Arms,
 	}
 	// Trim the slot table to the deepest position that saw traffic.
 	last := 0
@@ -273,6 +304,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Slots = append(resp.Slots, SlotStats{Slot: slot, Impressions: imp, Clicks: clk})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, ExperimentResponse{Arms: s.corpus.Arms()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

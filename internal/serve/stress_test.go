@@ -9,7 +9,14 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+
+	"repro/internal/policy"
 )
+
+// pspec is shorthand for a policy spec in table-style tests.
+func pspec(rule string, k int, r, rmin float64) policy.Spec {
+	return policy.Spec{Rule: rule, K: k, R: r, RMin: rmin}
+}
 
 // TestConcurrentFeedbackConservesPopularity hammers /feedback and /rank
 // from many goroutines and asserts no update is lost: after a final
@@ -130,6 +137,144 @@ func TestConcurrentFeedbackConservesPopularity(t *testing.T) {
 		}
 		if !st.Aware {
 			t.Fatalf("page %d still zero-awareness after %v clicks", i, perPage)
+		}
+	}
+	if after.ZeroAware != 0 {
+		t.Fatalf("%d pages still zero-awareness", after.ZeroAware)
+	}
+}
+
+// TestConcurrentRankAcrossArmsConservation hammers /rank (unit-bucketed
+// across two arms) and arm-attributed /feedback concurrently and asserts
+// exact per-arm accounting: pages are partitioned between the arms'
+// feedback streams, so each arm's click and discovery counters have a
+// single exact expected value — any lost or double-counted event fails.
+// Run under -race this also exercises the per-arm atomic counters and
+// the per-arm cache keys against the snapshot swap.
+func TestConcurrentRankAcrossArmsConservation(t *testing.T) {
+	const (
+		pages   = 48 // even split: arm parity partitions the pages
+		writers = 6
+		readers = 6
+		rounds  = 40
+	)
+	c := newTestCorpus(t, Config{Shards: 4, Seed: 29, QueueLen: 8, Arms: []Arm{
+		{Name: "control", Policy: pspec("deterministic", 0, 0, 0), Weight: 1},
+		{Name: "treatment", Policy: pspec("selective", 1, 0.3, 0), Weight: 1},
+	}})
+	for i := 0; i < pages; i++ {
+		pop := 1.0
+		if i%8 < 2 {
+			// A quarter starts in the zero-awareness pool, split evenly
+			// across the two parities (and so across the arm partitions).
+			pop = 0
+		}
+		if err := c.Add(i, fmt.Sprintf("armstress topic page%d", i), pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	before := c.Stats()
+
+	srv := httptest.NewServer(NewServer(c))
+	defer srv.Close()
+
+	armOf := func(page int) string {
+		if page%2 == 0 {
+			return "control"
+		}
+		return "treatment"
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var events []Event
+				for p := w % 2; p < pages; p += 2 {
+					// Even writers feed even pages (control's partition),
+					// odd writers odd pages (treatment's).
+					events = append(events, Event{
+						Page: p, Slot: 1 + p%10, Impressions: 1, Clicks: 1, Arm: armOf(p),
+					})
+				}
+				body, err := json.Marshal(FeedbackRequest{Events: events})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := http.Post(srv.URL+"/feedback", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("/feedback status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				query := ""
+				if i%2 == 0 {
+					query = "armstress topic"
+				}
+				body, _ := json.Marshal(RankRequest{Query: query, N: 20, Unit: fmt.Sprintf("unit-%d-%d", g, i)})
+				resp, err := http.Post(srv.URL+"/rank", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var rr RankResponse
+				if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+					t.Error(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/rank status %d", resp.StatusCode)
+					return
+				}
+				if rr.Arm != "control" && rr.Arm != "treatment" {
+					t.Errorf("served by undeclared arm %q", rr.Arm)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Sync()
+
+	after := c.Stats()
+	// writers/2 goroutines per parity × rounds × pages/2 clicks.
+	perArmClicks := uint64(writers / 2 * rounds * pages / 2)
+	if got := after.ClicksApplied - before.ClicksApplied; got != 2*perArmClicks {
+		t.Fatalf("clicks applied = %d, want %d", got, 2*perArmClicks)
+	}
+	gained := after.TotalPopularity - before.TotalPopularity
+	if math.Abs(gained-float64(2*perArmClicks)) > 1e-6 {
+		t.Fatalf("popularity gained %v, want %v (lost updates)", gained, 2*perArmClicks)
+	}
+	byName := map[string]ArmReport{}
+	for _, a := range after.Arms {
+		byName[a.Name] = a
+	}
+	for _, name := range []string{"control", "treatment"} {
+		rep := byName[name]
+		if rep.Clicks != perArmClicks || rep.Impressions != perArmClicks {
+			t.Fatalf("arm %q clicks/impressions = %d/%d, want %d each",
+				name, rep.Clicks, rep.Impressions, perArmClicks)
+		}
+		// Each arm's partition holds pages/8 zero-awareness pages, and
+		// only that arm ever clicks them: discoveries are exact.
+		if rep.Discoveries != pages/8 {
+			t.Fatalf("arm %q discoveries = %d, want %d", name, rep.Discoveries, pages/8)
 		}
 	}
 	if after.ZeroAware != 0 {

@@ -38,6 +38,7 @@ import (
 	"repro/internal/community"
 	"repro/internal/core"
 	"repro/internal/fenwick"
+	"repro/internal/policy"
 	"repro/internal/randutil"
 	"repro/internal/rankengine"
 	"repro/internal/stats"
@@ -141,7 +142,7 @@ type Result struct {
 // with Run (or StepDay for fine-grained control).
 type Simulator struct {
 	comm   community.Config
-	policy core.Policy
+	policy policy.Policy
 	opts   Options
 	rng    *randutil.RNG
 	// snapRng drives measurement-only randomness (snapshot merges) so
@@ -201,15 +202,30 @@ type Simulator struct {
 	poolBuf     []int
 }
 
-// New validates the configuration and builds a simulator. qualities must
-// contain exactly comm.Pages values in (0, 1].
-func New(comm community.Config, policy core.Policy, qualities []float64, opts Options) (*Simulator, error) {
+// New validates the configuration and builds a simulator for the offline
+// struct form of a policy. qualities must contain exactly comm.Pages
+// values in (0, 1].
+func New(comm community.Config, pol core.Policy, qualities []float64, opts Options) (*Simulator, error) {
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	compiled, err := pol.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return NewWithPolicy(comm, compiled, qualities, opts)
+}
 
+// NewWithPolicy builds a simulator driven by a pluggable ranking policy
+// from internal/policy — the same engine the online serving path runs.
+// State-dependent policies (epsilon-decay) see a fresh State{Pages,
+// ZeroAware} at the start of every simulated day.
+func NewWithPolicy(comm community.Config, pol policy.Policy, qualities []float64, opts Options) (*Simulator, error) {
 	if err := comm.Validate(); err != nil {
 		return nil, err
 	}
-	if err := policy.Validate(); err != nil {
-		return nil, err
+	if pol == nil {
+		return nil, fmt.Errorf("sim: nil policy")
 	}
 	if len(qualities) != comm.Pages {
 		return nil, fmt.Errorf("sim: %d qualities for %d pages", len(qualities), comm.Pages)
@@ -228,7 +244,7 @@ func New(comm community.Config, policy core.Policy, qualities []float64, opts Op
 	}
 	s := &Simulator{
 		comm:   comm,
-		policy: policy,
+		policy: pol,
 		opts:   opts.withDefaults(comm),
 		rng:    randutil.New(opts.Seed),
 		att:    att,
@@ -332,18 +348,24 @@ func (p resolverPresenter) materialize(rng *randutil.RNG, dst, scratch []int) (m
 }
 
 // buildPresenter constructs the day's position resolver from the frozen
-// ranking state.
+// ranking state. The policy's merge parameters are re-read every day, so
+// state-dependent policies (epsilon-decay) anneal as the community's
+// zero-awareness count moves.
 func (s *Simulator) buildPresenter() presenter {
-	switch s.policy.Rule {
-	case core.RuleSelective:
+	k, r := s.policy.Params(policy.State{Pages: s.n, ZeroAware: s.zero})
+	switch s.policy.Selection() {
+	case policy.SelectUnexplored:
+		// Quality is strictly positive, so popularity is zero exactly when
+		// awareness is zero: the deterministic list is the treap's top
+		// block and the promotion pool its bottom block.
 		det := treapWindow{t: s.treap, length: s.n - s.zero}
 		pool := treapWindow{t: s.treap, offset: s.n - s.zero, length: s.zero}
-		res, err := core.NewResolver(det, pool, s.policy.K, s.policy.R)
+		res, err := core.NewResolver(det, pool, k, r)
 		if err != nil {
 			panic("sim: resolver construction failed: " + err.Error())
 		}
 		return resolverPresenter{res}
-	case core.RuleUniform:
+	case policy.SelectCoin:
 		// Pool membership is resampled once per day (a documented
 		// simplification), but the shuffle-and-merge is fresh per query
 		// via the lazy resolver: materializing one list for the whole day
@@ -355,19 +377,19 @@ func (s *Simulator) buildPresenter() presenter {
 		det := s.detBuf[:0]
 		pool := s.poolBuf[:0]
 		for _, e := range ranked {
-			if s.rng.Bernoulli(s.policy.R) {
+			if s.rng.Bernoulli(r) {
 				pool = append(pool, e.ID)
 			} else {
 				det = append(det, e.ID)
 			}
 		}
 		s.detBuf, s.poolBuf = det, pool
-		res, err := core.NewResolver(core.Slice(det), core.Slice(pool), s.policy.K, s.policy.R)
+		res, err := core.NewResolver(core.Slice(det), core.Slice(pool), k, r)
 		if err != nil {
 			panic("sim: resolver construction failed: " + err.Error())
 		}
 		return resolverPresenter{res}
-	default: // RuleNone
+	default: // SelectNone
 		det := treapWindow{t: s.treap, length: s.n}
 		res, err := core.NewResolver(det, nil, 1, 0)
 		if err != nil {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/livestudy"
+	"repro/internal/policy"
 	"repro/internal/quality"
 	"repro/internal/randutil"
 	"repro/internal/serve"
@@ -92,6 +93,7 @@ type PageStat struct {
 // safe for concurrent use; create one per goroutine (they are cheap).
 type Ranker struct {
 	policy Policy
+	pol    policy.Policy
 	rng    *randutil.RNG
 
 	// Reusable scratch, so steady-state Rank calls allocate only the
@@ -105,11 +107,45 @@ type Ranker struct {
 
 // NewRanker validates the policy and creates a ranker seeded
 // deterministically.
-func NewRanker(policy Policy, seed uint64) (*Ranker, error) {
-	if err := policy.Validate(); err != nil {
+func NewRanker(pol Policy, seed uint64) (*Ranker, error) {
+	if err := pol.Validate(); err != nil {
 		return nil, err
 	}
-	return &Ranker{policy: policy, rng: randutil.New(seed)}, nil
+	compiled, err := pol.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Ranker{policy: pol, pol: compiled, rng: randutil.New(seed)}, nil
+}
+
+// NewRankerPolicy creates a ranker driven directly by a pluggable
+// internal/policy policy — the same engine the online service runs —
+// including variants the offline struct form cannot express (the
+// epsilon-decay annealing schedule).
+func NewRankerPolicy(pol policy.Policy, seed uint64) (*Ranker, error) {
+	if pol == nil {
+		return nil, fmt.Errorf("shuffledeck: nil policy")
+	}
+	spec := pol.Spec()
+	return &Ranker{
+		policy: Policy{Rule: ruleFromSpec(spec), K: spec.K, R: spec.R},
+		pol:    pol,
+		rng:    randutil.New(seed),
+	}, nil
+}
+
+// ruleFromSpec maps a policy spec back to the offline rule enum for
+// Policy() reporting; the epsilon-decay variant reports as selective
+// (its selection rule).
+func ruleFromSpec(spec policy.Spec) Rule {
+	switch spec.Rule {
+	case policy.RuleUniform:
+		return RuleUniform
+	case policy.RuleSelective, policy.RuleEpsilonDecay:
+		return RuleSelective
+	default:
+		return RuleNone
+	}
 }
 
 // Policy returns the ranker's policy.
@@ -141,9 +177,18 @@ func (r *Ranker) rankInto(pages []PageStat, dst []int) []int {
 		}
 		return ordered[i].ID < ordered[j].ID
 	})
+	unexplored := 0
+	for _, p := range ordered {
+		if p.Unexplored {
+			unexplored++
+		}
+	}
+	// Params is read before any randomness is drawn, so state-dependent
+	// policies see this call's candidate population.
+	k, rr := r.pol.Params(policy.State{Pages: len(ordered), ZeroAware: unexplored})
 	det, pool := r.det[:0], r.pool[:0]
-	switch r.policy.Rule {
-	case core.RuleSelective:
+	switch r.pol.Selection() {
+	case policy.SelectUnexplored:
 		for _, p := range ordered {
 			if p.Unexplored {
 				pool = append(pool, p.ID)
@@ -151,9 +196,9 @@ func (r *Ranker) rankInto(pages []PageStat, dst []int) []int {
 				det = append(det, p.ID)
 			}
 		}
-	case core.RuleUniform:
+	case policy.SelectCoin:
 		for _, p := range ordered {
-			if r.rng.Bernoulli(r.policy.R) {
+			if r.rng.Bernoulli(rr) {
 				pool = append(pool, p.ID)
 			} else {
 				det = append(det, p.ID)
@@ -166,7 +211,7 @@ func (r *Ranker) rankInto(pages []PageStat, dst []int) []int {
 	}
 	r.det, r.pool = det, pool
 	dst, r.shuffle = core.MergeScratch(core.Slice(det), core.Slice(pool),
-		r.policy.K, r.policy.R, r.rng, dst, r.shuffle)
+		k, rr, r.rng, dst, r.shuffle)
 	return dst
 }
 
@@ -325,11 +370,24 @@ type LiveOptions struct {
 	TopK int
 	// PoolCap bounds the zero-awareness sample per shard snapshot.
 	PoolCap int
-	// Policy is the promotion policy applied to every ranking.
+	// Policy is the promotion policy applied to every ranking when no
+	// Arms are declared.
 	Policy Policy
+	// Arms declares named experiment arms with traffic weights; requests
+	// are A/B-assigned across them (stable per unit ID). Overrides
+	// Policy when non-empty.
+	Arms []LiveArm
 	// Seed drives all service randomness.
 	Seed uint64
 }
+
+// LiveArm declares one experiment arm of a Live corpus.
+type LiveArm = serve.Arm
+
+// LiveArmReport is one arm's accounting: requests, attributed
+// impressions/clicks, zero-awareness discoveries and mean
+// time-to-first-click.
+type LiveArmReport = serve.ArmReport
 
 // LiveEvent is one slot-level feedback observation for a Live corpus:
 // the page, the 1-based position it was served at, and how many
@@ -367,6 +425,7 @@ func NewLive(opts LiveOptions) (*Live, error) {
 		TopK:    opts.TopK,
 		PoolCap: opts.PoolCap,
 		Policy:  opts.Policy,
+		Arms:    opts.Arms,
 		Seed:    opts.Seed,
 	})
 	if err != nil {
@@ -396,6 +455,17 @@ func (l *Live) Rank(query string, n int) ([]LiveResult, error) { return l.c.Rank
 func (l *Live) RankSeeded(query string, n int, seed uint64) ([]LiveResult, error) {
 	return l.c.RankSeeded(query, n, seed)
 }
+
+// RankUnit serves a request on behalf of an experiment unit (user or
+// session ID): the unit hashes deterministically to one of the declared
+// arms, and the serving arm's name is returned for feedback attribution
+// (set it on the LiveEvents the unit generates).
+func (l *Live) RankUnit(unit, query string, n int) ([]LiveResult, string, error) {
+	return l.c.RankUnit(unit, query, n)
+}
+
+// Arms reports each experiment arm's accounting, in declaration order.
+func (l *Live) Arms() []LiveArmReport { return l.c.Arms() }
 
 // Top returns the deterministic (promotion-free) global top-n explored
 // pages — the ranking a conventional engine would serve.
