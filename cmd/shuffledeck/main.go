@@ -7,6 +7,9 @@
 //	shuffledeck all           reproduce every figure in paper order
 //	shuffledeck list          list figure IDs
 //	shuffledeck demo          rank a small result list with and without promotion
+//	shuffledeck replay        counterfactual policy evaluation over a recorded
+//	                          data dir: shuffledeck replay -wal DIR
+//	                          [-arm name=spec ...] [-json]
 //
 // Flags:
 //
@@ -93,6 +96,11 @@ func main() {
 			len(experiments.All()), time.Since(start).Round(time.Millisecond), opts.Parallel)
 	case "demo":
 		demo(*seed)
+	case "replay":
+		if err := runReplay(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -107,6 +115,8 @@ usage:
   shuffledeck [flags] all           reproduce every figure
   shuffledeck list                  list figure IDs
   shuffledeck demo                  rank a result list with/without promotion
+  shuffledeck replay -wal DIR       counterfactual policy evaluation over a
+                                    recorded data dir (see replay -h)
 
 flags:
 `)

@@ -1,0 +1,99 @@
+// The replay subcommand: counterfactual policy evaluation over a data
+// directory recorded by shuffledeckd -data (run with -keep-log for full
+// history). It re-runs the logged event stream through the serving
+// layer's event-application path and scores each experiment arm under a
+// policy that may differ from the one that logged the traffic — the
+// paper's rule comparison, evaluated on real logs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// overrideFlags accumulates repeated -arm name=spec overrides.
+type overrideFlags map[string]string
+
+func (o overrideFlags) String() string {
+	parts := make([]string, 0, len(o))
+	for name, spec := range o {
+		parts = append(parts, name+"="+spec)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (o overrideFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" || spec == "" {
+		return fmt.Errorf("want name=rule[:k:r[:rmin]], got %q", v)
+	}
+	o[name] = spec
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	wal := fs.String("wal", "", "corpus data directory recorded by shuffledeckd -data (required)")
+	overrides := overrideFlags{}
+	fs.Var(overrides, "arm",
+		`evaluate the named arm under a different policy, "name=rule[:k:r[:rmin]]" (repeatable; default: the spec that logged the traffic)`)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	fs.Usage = func() {
+		fmt.Fprint(os.Stderr, `shuffledeck replay — counterfactual policy evaluation from production logs
+
+Re-runs the event stream a live shuffledeckd recorded (WAL + snapshots)
+and scores each experiment arm's logged traffic under a chosen policy:
+clicks count only where the evaluated policy could have produced the
+presentation that earned them. Run against a stopped server's data dir.
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *wal == "" {
+		fs.Usage()
+		return fmt.Errorf("-wal is required")
+	}
+	rep, err := serve.Replay(*wal, overrides)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printReplay(rep)
+	return nil
+}
+
+func printReplay(rep *serve.ReplayReport) {
+	history := "full history"
+	if !rep.FullHistory {
+		history = fmt.Sprintf("tail only — %d pages from snapshot baseline; record with -keep-log for full history", rep.BaselinePages)
+	}
+	fmt.Printf("replayed %d records across %d shards (%s)\n", rep.Records, rep.Shards, history)
+	fmt.Printf("end state: %d pages, %d dropped events\n\n", rep.Pages, rep.Dropped)
+	fmt.Printf("%-12s %-28s %8s %12s %8s %9s %12s %10s\n",
+		"arm", "policy", "events", "impressions", "clicks", "eligible", "discoveries", "mean-ttfc")
+	for _, a := range rep.Arms {
+		pol := a.Policy
+		if a.Policy != a.LoggedPolicy {
+			pol = fmt.Sprintf("%s (was %s)", a.Policy, a.LoggedPolicy)
+		}
+		ttfc := "-"
+		if a.MeanTTFCMillis > 0 {
+			ttfc = fmt.Sprintf("%.1fms", a.MeanTTFCMillis)
+		}
+		fmt.Printf("%-12s %-28s %8d %12d %8d %9d %12d %10s\n",
+			a.Name, pol, a.Events, a.Impressions, a.Clicks, a.EligibleClicks, a.Discoveries, ttfc)
+	}
+}

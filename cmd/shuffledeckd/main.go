@@ -6,7 +6,7 @@
 //	POST /rank      {"query":"...","n":10}             → randomized result list
 //	POST /feedback  {"events":[{"page":7,"slot":2,"impressions":1,"clicks":1}]}
 //	GET  /stats     corpus accounting + per-slot impression/click telemetry
-//	GET  /healthz   liveness probe
+//	GET  /healthz   readiness: recovery state, per-shard queue depth, WAL lag
 //
 // Flags:
 //
@@ -25,18 +25,37 @@
 //	-seed        base random seed (default 1)
 //	-pages       synthetic bootstrap corpus size, 0 = start empty (default 1000)
 //	-fresh       fraction of bootstrap pages starting at zero awareness (default 0.1)
+//	-data        data directory for durability; every shard mutation is
+//	             WAL-logged before it applies and the corpus recovers from
+//	             the directory at boot (empty = in-memory only)
+//	-fsync       WAL durability mode: batch (group commit, default),
+//	             always, or none
+//	-snapshot-interval  per-shard snapshot cadence (default 30s; negative
+//	             disables periodic snapshots — Close still snapshots)
+//	-keep-log    retain full WAL history behind snapshots, enabling
+//	             "shuffledeck replay" counterfactual evaluation
 //	-pprof       optional net/http/pprof listen address on a separate
 //	             listener (e.g. localhost:6060); empty disables it
 //
 // The synthetic bootstrap spreads pages over a handful of topics with a
 // Zipf-shaped initial popularity, so the service is immediately
 // queryable; a fraction starts with zero awareness and can only surface
-// through randomized promotion plus clicks.
+// through randomized promotion plus clicks. A recovered data dir that
+// already holds pages skips the bootstrap.
+//
+// With -data, the listener binds immediately and every endpoint answers
+// 503 while recovery replays the log (/healthz carries
+// {"status":"recovering"} in the body, so probes hold traffic and
+// operators see why); the full API swaps in atomically once ready,
+// and the boot log carries a one-line recovery summary (pages, records
+// replayed, torn bytes, wall time). An unrecoverable data dir — interior
+// WAL corruption, missing segments, shard-count mismatch — exits
+// non-zero with a clear message.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the listener
 // closes, every in-flight HTTP request drains, all pending feedback
-// batches are flushed into the shards and published, and only then do
-// the apply loops stop.
+// batches are flushed into the shards and published, a final snapshot is
+// written per shard (with -data), and only then do the apply loops stop.
 package main
 
 import (
@@ -52,7 +71,9 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/policy"
@@ -114,6 +135,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base random seed")
 	pages := flag.Int("pages", 1000, "synthetic bootstrap corpus size (0 = start empty)")
 	fresh := flag.Float64("fresh", 0.1, "fraction of bootstrap pages starting at zero awareness")
+	dataDir := flag.String("data", "", "data directory for WAL+snapshot durability (empty = in-memory)")
+	fsyncMode := flag.String("fsync", "batch", "WAL fsync mode: batch, always or none")
+	snapInterval := flag.Duration("snapshot-interval", 0, "per-shard snapshot cadence (0 = 30s default, negative disables)")
+	keepLog := flag.Bool("keep-log", false, "retain full WAL history for offline counterfactual replay")
 	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address on a separate listener (empty = disabled)")
 	flag.Parse()
 
@@ -153,25 +178,19 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Shards:  *shards,
-		TopK:    *topk,
-		PoolCap: *poolcap,
-		Policy:  pol,
-		Arms:    arms,
-		Seed:    *seed,
+		Shards:           *shards,
+		TopK:             *topk,
+		PoolCap:          *poolcap,
+		Policy:           pol,
+		Arms:             arms,
+		Seed:             *seed,
+		DataDir:          *dataDir,
+		SnapshotInterval: *snapInterval,
+		FsyncMode:        *fsyncMode,
+		KeepLog:          *keepLog,
 	}
-	corpus, err := serve.NewCorpus(cfg)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		fail("%v", err)
-	}
-	if *pages > 0 {
-		if err := Bootstrap(corpus, *pages, *fresh); err != nil {
-			log.Fatalf("shuffledeckd: bootstrap: %v", err)
-		}
-		corpus.Sync()
-		st := corpus.Stats()
-		log.Printf("bootstrap: %d pages (%d aware, %d zero-awareness) across %d shards",
-			st.Pages, st.Aware, st.ZeroAware, *shards)
 	}
 
 	if *pprofAddr != "" {
@@ -191,6 +210,52 @@ func main() {
 		}()
 	}
 
+	gate := newBootGate()
+	ready := make(chan *serve.Corpus, 1)
+	build := func() {
+		start := time.Now()
+		corpus, err := serve.NewCorpus(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shuffledeckd: cannot start: %v\n", err)
+			os.Exit(1)
+		}
+		if *dataDir != "" {
+			info := corpus.Recovery()
+			log.Printf("recovery: %d pages, %d WAL records replayed, %d torn bytes dropped, %d shards, %v (data dir %s)",
+				info.Pages, info.RecordsReplayed, info.TornBytes, len(info.Shards),
+				info.Duration.Round(time.Millisecond), *dataDir)
+		}
+		// Bootstrap is resumable: a crash mid-bootstrap leaves a partial
+		// corpus, and the next boot fills in exactly the missing pages
+		// (Bootstrap skips ids that already exist). A recovered corpus at
+		// or past the configured size is left untouched.
+		if have := corpus.Stats().Pages; *pages > 0 && have < *pages {
+			if have > 0 {
+				log.Printf("bootstrap: resuming — recovered %d of %d configured pages", have, *pages)
+			}
+			if err := Bootstrap(corpus, *pages, *fresh); err != nil {
+				log.Fatalf("shuffledeckd: bootstrap: %v", err)
+			}
+			corpus.Sync()
+			st := corpus.Stats()
+			log.Printf("bootstrap: %d pages (%d aware, %d zero-awareness) across %d shards",
+				st.Pages, st.Aware, st.ZeroAware, *shards)
+		}
+		gate.Ready(serve.NewServer(corpus))
+		if *dataDir != "" {
+			log.Printf("shuffledeckd: ready in %v", time.Since(start).Round(time.Millisecond))
+		}
+		ready <- corpus
+	}
+	// An in-memory corpus builds before the listener binds, preserving
+	// the original contract that an open port implies a ready service.
+	// With -data, recovery may replay an arbitrarily large log, so the
+	// listener comes up first and the gate answers 503 until the swap; an
+	// unrecoverable data dir exits non-zero with the store's diagnosis.
+	if *dataDir == "" {
+		build()
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("shuffledeckd: %v", err)
@@ -202,25 +267,70 @@ func main() {
 	} else {
 		log.Printf("shuffledeckd: policy %v, listening on %s", pol, ln.Addr())
 	}
-	if err := runServer(ctx, ln, corpus); err != nil {
+	if *dataDir != "" {
+		go build()
+	}
+	if err := runServer(ctx, ln, gate, ready); err != nil {
 		log.Fatalf("shuffledeckd: %v", err)
 	}
 	log.Printf("shuffledeckd: shut down")
 }
 
-// runServer serves the API on ln until ctx is canceled (SIGINT/SIGTERM in
+// bootGate is the swap point between the boot placeholder handler and
+// the full API: requests go to whatever handler is currently stored,
+// and Ready swaps atomically once recovery finishes.
+type bootGate struct {
+	h atomic.Value // handlerBox
+}
+
+// handlerBox gives atomic.Value the single concrete type it requires.
+type handlerBox struct{ h http.Handler }
+
+func newBootGate() *bootGate {
+	g := &bootGate{}
+	g.h.Store(handlerBox{h: http.HandlerFunc(recoveringHandler)})
+	return g
+}
+
+// Ready swaps in the full API handler.
+func (g *bootGate) Ready(h http.Handler) { g.h.Store(handlerBox{h: h}) }
+
+func (g *bootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.h.Load().(handlerBox).h.ServeHTTP(w, r)
+}
+
+// recoveringHandler is the boot placeholder: everything — including
+// /healthz — answers 503 so probes that key on the status code (k8s
+// httpGet readiness, LB health checks) hold traffic until the swap;
+// /healthz additionally carries the machine-readable recovery state for
+// operators who look at the body.
+func recoveringHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	if r.URL.Path == "/healthz" {
+		fmt.Fprintln(w, `{"status":"recovering","ready":false}`)
+		return
+	}
+	fmt.Fprintln(w, `{"error":"recovering from data dir; not ready"}`)
+}
+
+// runServer serves h on ln until ctx is canceled (SIGINT/SIGTERM in
 // main), then shuts down gracefully in three ordered steps: drain every
 // in-flight HTTP request, flush all pending feedback batches into the
 // shards (Sync blocks until applied and published), and stop the apply
-// loops. The corpus remains readable afterwards.
-func runServer(ctx context.Context, ln net.Listener, corpus *serve.Corpus) error {
-	srv := &http.Server{Handler: serve.NewServer(corpus)}
+// loops — which, on a durable corpus, writes the final snapshots. The
+// ready channel delivers the corpus once recovery finishes; shutdown
+// waits on it so a signal during recovery still closes cleanly. The
+// corpus remains readable afterwards.
+func runServer(ctx context.Context, ln net.Listener, h http.Handler, ready <-chan *serve.Corpus) error {
+	srv := &http.Server{Handler: h}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
 	case err := <-errCh:
 		// The listener failed before any signal; stop the apply loops and
 		// report.
+		corpus := <-ready
 		corpus.Close()
 		if err == http.ErrServerClosed {
 			err = nil
@@ -237,6 +347,7 @@ func runServer(ctx context.Context, ln net.Listener, corpus *serve.Corpus) error
 	// Every batch the drained handlers enqueued is now in the shard
 	// queues; Sync flushes and publishes them so no acknowledged feedback
 	// is lost on exit.
+	corpus := <-ready
 	corpus.Sync()
 	corpus.Close()
 	return nil
@@ -258,9 +369,14 @@ var topics = []string{
 // Zipf-shaped initial popularity for the established pages, and exactly
 // round(fresh·n) pages left at zero awareness, spread evenly over the id
 // range: page i is fresh when the rounded cumulative count
-// round(fresh·(i+1)) crosses an integer.
+// round(fresh·(i+1)) crosses an integer. Pages that already exist (a
+// recovered corpus resuming a crashed bootstrap) are skipped, so the
+// call is idempotent for a fixed n.
 func Bootstrap(c *serve.Corpus, n int, fresh float64) error {
 	for i := 0; i < n; i++ {
+		if _, ok := c.Page(i); ok {
+			continue
+		}
 		topic := topics[i%len(topics)]
 		text := fmt.Sprintf("%s page%d", topic, i)
 		pop := 0.0

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -95,7 +96,7 @@ func TestGracefulShutdownFlushesFeedback(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- runServer(ctx, ln, corpus) }()
+	go func() { done <- runServer(ctx, ln, serve.NewServer(corpus), readyNow(corpus)) }()
 	base := "http://" + ln.Addr().String()
 
 	// The server must be up: rank something.
@@ -149,4 +150,157 @@ func TestGracefulShutdownFlushesFeedback(t *testing.T) {
 	if _, err := http.Post(base+"/rank", "application/json", bytes.NewReader(body)); err == nil {
 		t.Fatal("listener still accepting after shutdown")
 	}
+}
+
+// readyNow wraps an already-built corpus in the ready channel runServer
+// takes (main fills it from the recovery goroutine).
+func readyNow(c *serve.Corpus) <-chan *serve.Corpus {
+	ch := make(chan *serve.Corpus, 1)
+	ch <- c
+	return ch
+}
+
+// TestBootGateSwapsFromRecoveringToReady covers the boot path: while
+// recovery runs, /healthz reports recovering and the API refuses with
+// 503; after Ready the full API serves.
+func TestBootGateSwapsFromRecoveringToReady(t *testing.T) {
+	gate := newBootGate()
+	srv := httptest.NewServer(gate)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+		Ready  bool   `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// 503, not 200: readiness probes key on the status code, so a
+	// recovering instance must not look ready to a load balancer.
+	if resp.StatusCode != http.StatusServiceUnavailable || hz.Status != "recovering" || hz.Ready {
+		t.Fatalf("recovering healthz = %d %+v", resp.StatusCode, hz)
+	}
+	body, _ := json.Marshal(serve.RankRequest{N: 3})
+	resp, err = http.Post(srv.URL+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/rank during recovery = %d, want 503", resp.StatusCode)
+	}
+
+	corpus, err := serve.NewCorpus(serve.Config{Shards: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corpus.Close()
+	if err := corpus.Add(1, "gate topic page", 2); err != nil {
+		t.Fatal(err)
+	}
+	corpus.Sync()
+	gate.Ready(serve.NewServer(corpus))
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready serve.HealthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready.Status != "ready" || !ready.Ready {
+		t.Fatalf("post-swap healthz = %+v", ready)
+	}
+	resp, err = http.Post(srv.URL+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/rank after swap = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestDurableDaemonRoundTrip drives the daemon's serving path against a
+// data dir twice: the first run ingests feedback over HTTP and shuts
+// down gracefully, the second recovers and must serve the promoted state
+// plus a healthz that reflects the durable corpus.
+func TestDurableDaemonRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serve.Config{Shards: 2, Seed: 8, DataDir: dir}
+
+	run := func(drive func(base string, corpus *serve.Corpus)) {
+		corpus, err := serve.NewCorpus(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- runServer(ctx, ln, serve.NewServer(corpus), readyNow(corpus)) }()
+		drive("http://"+ln.Addr().String(), corpus)
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("runServer: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("shutdown hung")
+		}
+	}
+
+	run(func(base string, corpus *serve.Corpus) {
+		for i := 0; i < 10; i++ {
+			if err := corpus.Add(i, fmt.Sprintf("daemon topic page%d", i), float64(10-i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := corpus.Add(99, "daemon topic gem", 0); err != nil {
+			t.Fatal(err)
+		}
+		corpus.Sync()
+		fb, _ := json.Marshal(serve.FeedbackRequest{Events: []serve.Event{
+			{Page: 99, Slot: 2, Impressions: 1, Clicks: 3},
+		}})
+		resp, err := http.Post(base+"/feedback", "application/json", bytes.NewReader(fb))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("/feedback status %d", resp.StatusCode)
+		}
+	})
+
+	run(func(base string, corpus *serve.Corpus) {
+		if info := corpus.Recovery(); !info.Durable || info.Pages != 11 {
+			t.Fatalf("second boot recovery = %+v, want 11 recovered pages", info)
+		}
+		if gem, _ := corpus.Page(99); !gem.Aware || gem.Popularity != 3 {
+			t.Fatalf("gem state lost across daemon restart: %+v", gem)
+		}
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hz serve.HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !hz.Ready || !hz.Durable || hz.FsyncMode != "batch" || len(hz.Shards) != 2 {
+			t.Fatalf("durable healthz = %+v", hz)
+		}
+	})
 }

@@ -116,6 +116,21 @@ func (s Spec) Compile() (Policy, error) {
 	}
 }
 
+// Compact renders the spec in the colon form ParseSpec reads back —
+// the representation flags and on-disk metadata use. Compact and
+// ParseSpec are round-trip partners: a new rule or parameter must
+// update both (and the round-trip test pins that).
+func (s Spec) Compact() string {
+	switch s.Rule {
+	case RuleDeterministic, RuleNone, "":
+		return "none"
+	case RuleEpsilonDecay:
+		return fmt.Sprintf("%s:%d:%g:%g", s.Rule, s.K, s.R, s.RMin)
+	default:
+		return fmt.Sprintf("%s:%d:%g", s.Rule, s.K, s.R)
+	}
+}
+
 // ParseSpec parses the compact colon form used by flags:
 // "rule", "rule:k:r" or "epsilon-decay:k:r:rmin" — e.g.
 // "selective:1:0.1" or "epsilon-decay:2:0.2:0.02".

@@ -33,12 +33,19 @@ type Arm struct {
 }
 
 // armState is one arm's runtime: the compiled policy, its bucketing
-// bounds, its query-cache key prefix and its telemetry counters.
+// bounds and its serving-side request counter. The feedback-side
+// telemetry lives in per-shard armTally slices (indexed by idx), written
+// only by the owning apply loops — which is what lets each shard
+// snapshot its contribution consistently with its own WAL position, so
+// arm telemetry survives crashes exactly.
 type armState struct {
 	name string
 	spec policy.Spec
 	pol  policy.Policy
 	sel  policy.Selection
+	// idx is the arm's position in declaration order: the index of its
+	// tally in every shard's tallies slice.
+	idx int
 	// weight is the declared (unnormalized) weight; cum is the arm's
 	// cumulative upper bound after normalization, so assignment walks the
 	// arms until the unit's point falls below cum. The arm's name also
@@ -46,11 +53,20 @@ type armState struct {
 	weight float64
 	cum    float64
 
-	requests    atomic.Uint64
+	// requests counts /rank requests served by the arm. It is a
+	// serving-run counter, not event-sourced state: rank requests are not
+	// logged, so it restarts at zero after recovery.
+	requests atomic.Uint64
+}
+
+// armTally is one shard's feedback-telemetry contribution for one arm,
+// written only by the shard's apply loop and summed lock-free by
+// reports.
+type armTally struct {
 	impressions atomic.Uint64
 	clicks      atomic.Uint64
 	// discoveries counts first clicks that promoted a page out of the
-	// zero-awareness pool under feedback attributed to this arm — the
+	// zero-awareness pool under feedback attributed to the arm — the
 	// exploration payoff the paper's selective rule buys.
 	discoveries atomic.Uint64
 	// ttfcSumNanos and ttfcCount accumulate time-to-first-click over the
@@ -79,23 +95,6 @@ type ArmReport struct {
 	// discoveries with a measurable first impression, in milliseconds
 	// (0 when none completed).
 	MeanTTFCMillis float64 `json:"mean_ttfc_millis"`
-}
-
-// report snapshots the arm's counters.
-func (a *armState) report() ArmReport {
-	r := ArmReport{
-		Name:        a.name,
-		Policy:      a.spec.String(),
-		Weight:      a.weight,
-		Requests:    a.requests.Load(),
-		Impressions: a.impressions.Load(),
-		Clicks:      a.clicks.Load(),
-		Discoveries: a.discoveries.Load(),
-	}
-	if n := a.ttfcCount.Load(); n > 0 {
-		r.MeanTTFCMillis = float64(a.ttfcSumNanos.Load()) / float64(n) / 1e6
-	}
-	return r
 }
 
 // DefaultArmName names the implicit single arm serving Config.Policy when
@@ -137,6 +136,7 @@ func buildArms(cfg Config) ([]*armState, error) {
 			spec:   d.Policy,
 			pol:    pol,
 			sel:    pol.Selection(),
+			idx:    len(arms),
 			weight: d.Weight,
 		})
 	}
@@ -234,11 +234,33 @@ func (c *Corpus) PolicyLabel() string {
 	return fmt.Sprintf("experiment(%d arms)", len(c.arms))
 }
 
-// Arms reports every arm's current accounting, in declaration order.
+// Arms reports every arm's current accounting, in declaration order,
+// summing the per-shard tally contributions. On a recovered corpus the
+// feedback-side counters (impressions, clicks, discoveries, TTFC) are
+// restored from disk; Requests counts this serving run only.
 func (c *Corpus) Arms() []ArmReport {
 	out := make([]ArmReport, len(c.arms))
 	for i, a := range c.arms {
-		out[i] = a.report()
+		r := ArmReport{
+			Name:     a.name,
+			Policy:   a.spec.String(),
+			Weight:   a.weight,
+			Requests: a.requests.Load(),
+		}
+		var ttfcSum int64
+		var ttfcN uint64
+		for _, sh := range c.shards {
+			t := &sh.tallies[i]
+			r.Impressions += t.impressions.Load()
+			r.Clicks += t.clicks.Load()
+			r.Discoveries += t.discoveries.Load()
+			ttfcSum += t.ttfcSumNanos.Load()
+			ttfcN += t.ttfcCount.Load()
+		}
+		if ttfcN > 0 {
+			r.MeanTTFCMillis = float64(ttfcSum) / float64(ttfcN) / 1e6
+		}
+		out[i] = r
 	}
 	return out
 }

@@ -212,3 +212,76 @@ func BenchmarkServeFeedback(b *testing.B) {
 	b.StopTimer()
 	c.Sync()
 }
+
+// benchDurableCorpus builds the benchCorpus shape on a WAL-backed data
+// dir in FsyncMode=batch, seeding the corpus through the group-commit
+// path itself.
+func benchDurableCorpus(b *testing.B) (*Corpus, int) {
+	b.Helper()
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	c, err := NewCorpus(Config{Shards: 8, Seed: 1, DataDir: b.TempDir(), FsyncMode: "batch"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < n; i++ {
+		pop := 0.0
+		if i%50 != 0 {
+			pop = float64(n) / float64(i+1)
+		}
+		if err := c.Add(i, fmt.Sprintf("bench topic page%d", i), pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Sync()
+	return c, n
+}
+
+// BenchmarkServeRankDurable is BenchmarkServeRank with durability
+// enabled (WAL in FsyncMode=batch): the /rank hot path reads lock-free
+// shard snapshots and never touches the log, so group commit must keep
+// serving at the in-memory corpus's cost — this bench gates that claim.
+func BenchmarkServeRankDurable(b *testing.B) {
+	c, _ := benchDurableCorpus(b)
+	warmRank(b, c, "")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := c.Rank("", 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != 10 {
+				b.Fatalf("served %d results", len(res))
+			}
+		}
+	})
+}
+
+// BenchmarkServeFeedbackDurable measures the durable ingestion path end
+// to end: a 64-event batch partitioned to the shards, WAL-encoded,
+// group-committed (one fsync per batch in FsyncMode=batch) and applied,
+// with the caller blocked until the acknowledgement is real — the
+// write-side cost a durability-configured deployment pays per feedback
+// POST.
+func BenchmarkServeFeedbackDurable(b *testing.B) {
+	c, n := benchDurableCorpus(b)
+	const batch = 64
+	events := make([]Event, batch)
+	for i := range events {
+		events[i] = Event{Page: i % n, Slot: i%10 + 1, Impressions: 1}
+	}
+	c.Feedback(events) // steady state before the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Feedback(events)
+	}
+	b.StopTimer()
+	c.Sync()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*batch/secs, "events/s")
+	}
+}

@@ -1,10 +1,16 @@
 package loadgen
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/policy"
 	"repro/internal/serve"
@@ -285,5 +291,249 @@ func TestMixedQueryWorkload(t *testing.T) {
 	// between feedback flushes.
 	if st := c.Stats(); st.QueryCacheHits == 0 {
 		t.Fatalf("query workload never hit the candidate cache: %+v", st)
+	}
+}
+
+// ackRecorder wraps the service handler and records, per page, the
+// feedback totals of every batch the service ACKNOWLEDGED with 202 —
+// the client-visible durability promise the kill test holds recovery
+// to.
+type ackRecorder struct {
+	inner http.Handler
+	mu    sync.Mutex
+	imps  map[int]int64
+	clks  map[int]int64
+}
+
+func newAckRecorder(inner http.Handler) *ackRecorder {
+	return &ackRecorder{inner: inner, imps: map[int]int64{}, clks: map[int]int64{}}
+}
+
+func (a *ackRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || r.URL.Path != "/feedback" {
+		a.inner.ServeHTTP(w, r)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	a.inner.ServeHTTP(rec, r)
+	if rec.Code == http.StatusAccepted {
+		var req serve.FeedbackRequest
+		if err := json.Unmarshal(body, &req); err == nil {
+			a.mu.Lock()
+			for _, e := range req.Events {
+				a.imps[e.Page] += int64(e.Impressions)
+				a.clks[e.Page] += int64(e.Clicks)
+			}
+			a.mu.Unlock()
+		}
+	}
+	for k, vs := range rec.Header() {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	_, _ = w.Write(rec.Body.Bytes())
+}
+
+// TestKillAfterRestartLosesNoAcknowledgedFeedback is the loadgen crash
+// scenario: simulated users drive a durable two-arm service, the
+// process "dies" mid-run (listener closed, corpus killed with no final
+// snapshot), and a restart from the data dir must hold every feedback
+// event the service acknowledged — per page, exactly.
+func TestKillAfterRestartLosesNoAcknowledgedFeedback(t *testing.T) {
+	const established = 40
+	dir := t.TempDir()
+	cfg := serve.Config{
+		Shards:  4,
+		Seed:    11,
+		DataDir: dir,
+		KeepLog: true,
+		Arms: []serve.Arm{
+			{Name: "control", Policy: policy.Spec{Rule: policy.RuleDeterministic}, Weight: 1},
+			{Name: "explore", Policy: policy.Spec{Rule: policy.RuleSelective, K: 1, R: 0.3}, Weight: 1},
+		},
+	}
+	c, err := serve.NewCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < established; i++ {
+		pop := float64(established-i) * 0.05
+		if i%8 == 0 {
+			pop = 0
+		}
+		if err := c.Add(i, fmt.Sprintf("crashy topic page%d", i), pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+
+	recorder := newAckRecorder(serve.NewServer(c))
+	srv := httptest.NewServer(recorder)
+
+	// Drive load in the background and kill the service mid-run: the
+	// workers that lose the race report transport errors, which is
+	// exactly what a crashed server looks like from outside.
+	done := make(chan *Report, 1)
+	go func() {
+		report, err := Run(Config{
+			BaseURL:       srv.URL,
+			Workers:       4,
+			Requests:      4000,
+			N:             15,
+			Seed:          7,
+			FeedbackBatch: 5,
+			Quality:       func(id int) float64 { return 0.3 },
+		})
+		if err != nil {
+			t.Errorf("loadgen: %v", err)
+		}
+		done <- report
+	}()
+	time.Sleep(150 * time.Millisecond)
+	srv.CloseClientConnections()
+	srv.Close() // waits for in-flight handlers: every 202 decision is final
+	c.Kill()    // SIGKILL-equivalent: no final snapshot, queues abandoned
+	report := <-done
+	if report == nil {
+		t.Fatal("no loadgen report")
+	}
+
+	recorder.mu.Lock()
+	ackedPages := len(recorder.imps)
+	var ackedClicks int64
+	for _, n := range recorder.clks {
+		ackedClicks += n
+	}
+	recorder.mu.Unlock()
+	if ackedPages == 0 {
+		t.Skip("kill landed before any feedback was acknowledged; nothing to verify")
+	}
+
+	r, err := serve.NewCorpus(cfg)
+	if err != nil {
+		t.Fatalf("recovery after kill: %v", err)
+	}
+	defer r.Close()
+	if info := r.Recovery(); !info.Durable || info.Pages != established {
+		t.Fatalf("recovery info = %+v, want %d pages", info, established)
+	}
+	recorder.mu.Lock()
+	defer recorder.mu.Unlock()
+	st := r.Stats()
+	if int64(st.ClicksApplied) < ackedClicks {
+		t.Fatalf("recovered %d clicks, but %d were acknowledged before the kill", st.ClicksApplied, ackedClicks)
+	}
+	for page, clicks := range recorder.clks {
+		p, ok := r.Page(page)
+		if !ok {
+			t.Fatalf("acknowledged page %d missing after recovery", page)
+		}
+		if p.Clicks < clicks {
+			t.Fatalf("page %d recovered %d clicks, %d were acknowledged", page, p.Clicks, clicks)
+		}
+		if p.Impressions < recorder.imps[page] {
+			t.Fatalf("page %d recovered %d impressions, %d were acknowledged", page, p.Impressions, recorder.imps[page])
+		}
+	}
+}
+
+// TestReplayReproducesLoadgenScorecard is the counterfactual-replay
+// acceptance over real loadgen traffic: replaying the recorded WAL
+// under the logged specs reproduces the live per-arm discovery counts,
+// and swapping the exploring arm to the deterministic rule yields the
+// documented collapsed scorecard (no discoveries without promotions).
+func TestReplayReproducesLoadgenScorecard(t *testing.T) {
+	const established = 40
+	dir := t.TempDir()
+	cfg := serve.Config{
+		Shards:  4,
+		Seed:    3,
+		DataDir: dir,
+		KeepLog: true,
+		Arms: []serve.Arm{
+			{Name: "control", Policy: policy.Spec{Rule: policy.RuleDeterministic}, Weight: 1},
+			{Name: "explore", Policy: policy.Spec{Rule: policy.RuleSelective, K: 1, R: 0.3}, Weight: 1},
+		},
+	}
+	c, err := serve.NewCorpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < established; i++ {
+		pop := float64(established-i) * 0.05
+		if i%8 == 0 {
+			pop = 0 // planted gems only promotion can surface
+		}
+		if err := c.Add(i, fmt.Sprintf("replayable topic page%d", i), pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	srv := httptest.NewServer(serve.NewServer(c))
+	report, err := Run(Config{
+		BaseURL:  srv.URL,
+		Workers:  4,
+		Requests: 1500,
+		N:        15,
+		Seed:     9,
+		Quality: func(id int) float64 {
+			if id%8 == 0 {
+				return 0.9
+			}
+			return 0.05
+		},
+	})
+	srv.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("load run errors: %v", report)
+	}
+	c.Sync()
+	live := c.Arms()
+	c.Close()
+	if live[1].Discoveries == 0 {
+		t.Fatal("exploring arm discovered nothing; fixture too small")
+	}
+
+	rep, err := serve.Replay(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullHistory {
+		t.Fatalf("KeepLog run must replay full history: %+v", rep)
+	}
+	for i, arm := range rep.Arms {
+		if arm.Discoveries != live[i].Discoveries {
+			t.Errorf("arm %s: replay discoveries %d, live %d", arm.Name, arm.Discoveries, live[i].Discoveries)
+		}
+		if arm.Clicks != live[i].Clicks || arm.Impressions != live[i].Impressions {
+			t.Errorf("arm %s: replay %d/%d, live %d/%d", arm.Name,
+				arm.Impressions, arm.Clicks, live[i].Impressions, live[i].Clicks)
+		}
+		if arm.MeanTTFCMillis != live[i].MeanTTFCMillis {
+			t.Errorf("arm %s: replay TTFC %v, live %v", arm.Name, arm.MeanTTFCMillis, live[i].MeanTTFCMillis)
+		}
+	}
+
+	swapped, err := serve.Replay(dir, map[string]string{"explore": "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := swapped.Arms[1]
+	if ex.Discoveries != 0 {
+		t.Fatalf("deterministic counterfactual kept %d discoveries", ex.Discoveries)
+	}
+	if ex.EligibleClicks >= ex.Clicks {
+		t.Fatalf("counterfactual must reject promotion-earned clicks: %+v", ex)
 	}
 }

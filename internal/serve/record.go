@@ -1,0 +1,92 @@
+// WAL record codec. Each WAL frame carries exactly one record: a page
+// addition or a feedback event, prefixed by a kind byte and the
+// group-commit timestamp (the clock applyEvent runs on, so recovery and
+// replay reproduce time-to-first-click telemetry exactly). Integers are
+// zig-zag varints — feedback events are logged BEFORE validation, so
+// negative counts from a buggy client must round-trip for the dropped
+// counter to recover exactly.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/store"
+)
+
+const (
+	recKindAdd   = 1
+	recKindEvent = 2
+)
+
+// walRecord is one decoded WAL frame.
+type walRecord struct {
+	kind  byte
+	nanos int64
+	add   AddRecord // kind == recKindAdd
+	event Event     // kind == recKindEvent
+}
+
+// appendAddRecord encodes a page addition stamped at nanos.
+func appendAddRecord(dst []byte, a AddRecord, nanos int64) []byte {
+	dst = append(dst, recKindAdd)
+	dst = binary.AppendVarint(dst, nanos)
+	dst = binary.AppendVarint(dst, int64(a.ID))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(a.Popularity))
+	dst = binary.AppendVarint(dst, int64(a.Birth))
+	dst = binary.AppendUvarint(dst, uint64(len(a.Text)))
+	return append(dst, a.Text...)
+}
+
+// appendEventRecord encodes a feedback event stamped at nanos.
+func appendEventRecord(dst []byte, e Event, nanos int64) []byte {
+	dst = append(dst, recKindEvent)
+	dst = binary.AppendVarint(dst, nanos)
+	dst = binary.AppendVarint(dst, int64(e.Page))
+	dst = binary.AppendVarint(dst, int64(e.Slot))
+	dst = binary.AppendVarint(dst, int64(e.Impressions))
+	dst = binary.AppendVarint(dst, int64(e.Clicks))
+	dst = binary.AppendUvarint(dst, uint64(len(e.Arm)))
+	return append(dst, e.Arm...)
+}
+
+// decodeWALRecord parses one frame payload with the same strict cursor
+// (store.BinReader) the snapshot decoder uses. The WAL layer already
+// CRC-verified the payload, so a parse failure means a version skew or
+// a bug, not bit rot — callers treat it as unrecoverable. Strings are
+// copied out by the reader, so the decoded record does not alias the
+// caller's buffer.
+func decodeWALRecord(p []byte) (walRecord, error) {
+	if len(p) == 0 {
+		return walRecord{}, fmt.Errorf("serve: empty WAL record")
+	}
+	d := store.NewBinReader(p, 1)
+	rec := walRecord{kind: p[0], nanos: d.Varint()}
+	switch rec.kind {
+	case recKindAdd:
+		rec.add = AddRecord{
+			ID:         int(d.Varint()),
+			Popularity: d.Float64(),
+			Birth:      int(d.Varint()),
+			Text:       d.String(),
+		}
+	case recKindEvent:
+		rec.event = Event{
+			Page:        int(d.Varint()),
+			Slot:        int(d.Varint()),
+			Impressions: int(d.Varint()),
+			Clicks:      int(d.Varint()),
+			Arm:         d.String(),
+		}
+	default:
+		return walRecord{}, fmt.Errorf("serve: unknown WAL record kind %d", rec.kind)
+	}
+	if d.Err() != nil {
+		return walRecord{}, fmt.Errorf("serve: truncated WAL record (kind %d)", rec.kind)
+	}
+	if d.Remaining() != 0 {
+		return walRecord{}, fmt.Errorf("serve: %d trailing bytes in WAL record", d.Remaining())
+	}
+	return rec, nil
+}

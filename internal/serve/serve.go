@@ -26,6 +26,16 @@
 // per-request, with an RNG draw sequence identical to the uncached path.
 // A /rank request is therefore lock-free reads plus one
 // promotion-sampling merge pass; /feedback is a channel send per shard.
+//
+// Durability (Config.DataDir) is event sourcing under that same design:
+// every shard mutation flows through one pure event-application path
+// (state.go), and the apply loop writes each drained group of requests
+// to a per-shard write-ahead log — one group-commit fsync per batch —
+// before applying it, so an acknowledged feedback batch survives a
+// crash while /rank never touches the log. Periodic snapshots bound
+// recovery, which replays the WAL tail through the identical apply path
+// (durability.go); the retained log doubles as the input to offline
+// counterfactual policy evaluation (replay.go).
 package serve
 
 import (
@@ -39,6 +49,8 @@ import (
 	"repro/internal/randutil"
 	"repro/internal/rankengine"
 	"repro/internal/searchidx"
+	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // DefaultTopN is the result-list length served when a request does not
@@ -50,9 +62,11 @@ const DefaultTopN = 10
 // bucket.
 const SlotTrack = 100
 
-// slotCounters is the corpus-wide per-position telemetry, written by the
-// shard apply loops (only for events actually applied, so it always
-// agrees with ImpressionsApplied/ClicksApplied) and read lock-free.
+// slotCounters is one shard's per-position telemetry contribution,
+// written by its apply loop (only for events actually applied, so the
+// summed table always agrees with ImpressionsApplied/ClicksApplied) and
+// read lock-free. Kept per shard so each shard's snapshot captures its
+// own contribution consistently with its WAL position.
 type slotCounters struct {
 	imp [SlotTrack]atomic.Uint64
 	clk [SlotTrack]atomic.Uint64
@@ -100,6 +114,30 @@ type Config struct {
 	// Seed drives all service randomness (per-request merge RNGs, pool
 	// sampling). Zero means seed 1.
 	Seed uint64
+	// DataDir enables durability: every shard mutation is written to a
+	// per-shard write-ahead log before it is applied, periodic snapshots
+	// bound recovery time, and NewCorpus recovers the previous state from
+	// the directory at boot. Empty keeps the corpus in-memory only (the
+	// draw-for-draw identical legacy path the golden tests pin).
+	DataDir string
+	// SnapshotInterval is how often each shard persists a state snapshot
+	// and truncates its log (checked at batch boundaries; 0 selects the
+	// 30s default, negative disables periodic snapshots). A final
+	// snapshot is always written on clean Close. Ignored without DataDir.
+	SnapshotInterval time.Duration
+	// FsyncMode selects the WAL durability mode: "batch" (default; one
+	// fsync per group-committed feedback batch), "always", or "none"
+	// (OS writeback). Ignored without DataDir.
+	FsyncMode string
+	// KeepLog retains the full WAL history behind snapshots instead of
+	// truncating it — required for offline counterfactual replay
+	// (shuffledeck replay) over the complete event stream. Ignored
+	// without DataDir.
+	KeepLog bool
+	// walSegmentBytes overrides the WAL segment rotation size so tests
+	// can exercise multi-segment truncation without megabytes of
+	// traffic; 0 selects the wal package default.
+	walSegmentBytes int64
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -118,6 +156,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("serve: PoolCap must be >= 0 (0 = default), got %d", c.PoolCap)
 	case c.QueueLen < 0:
 		return fmt.Errorf("serve: QueueLen must be >= 0 (0 = default), got %d", c.QueueLen)
+	}
+	if _, err := wal.ParseFsyncMode(c.FsyncMode); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	if len(c.Arms) > 0 {
 		// Arm names, weights and policy specs are validated by the single
@@ -149,6 +190,9 @@ func (c Config) withDefaults() Config {
 	if c.QueryCacheSize == 0 {
 		c.QueryCacheSize = 256
 	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
 	if c.Policy == (core.Policy{}) {
 		c.Policy = core.Recommended()
 	}
@@ -178,7 +222,8 @@ type Event struct {
 }
 
 // Stat is a page's current serving state. Values handed out are immutable
-// copies; the apply loop replaces, never mutates, the stored ones.
+// copies; the apply loop replaces, never mutates, the stored ones. It is
+// exactly the per-page state snapshots persist and recovery restores.
 type Stat struct {
 	ID         int
 	Popularity float64
@@ -228,7 +273,7 @@ type Stats struct {
 
 // applyReq is one message to a shard's apply loop.
 type applyReq struct {
-	add    []Stat
+	add    []AddRecord
 	events []Event
 	done   chan struct{} // non-nil: close after everything earlier applied
 }
@@ -241,34 +286,47 @@ type snapshot struct {
 }
 
 type shard struct {
+	// shardState is the event-sourced corpus state: the only thing the
+	// apply path mutates, the only thing snapshots persist, and the
+	// surface recovery and offline replay share with live serving.
+	shardState
+
 	cfg Config
 	ch  chan applyReq
 
-	// arms resolves feedback attribution to the shared per-arm counters;
-	// pages and zeroAware are the corpus-wide population counters the
-	// state-dependent policies read. All are written by apply loops only
-	// through atomics.
-	arms      map[string]*armState
-	pages     *atomic.Int64
-	zeroAware *atomic.Int64
-
-	// stats maps page id -> *Stat. Written only by the apply loop (and by
-	// nothing after Close); read lock-free by every request.
-	stats sync.Map
+	// arms resolves feedback attribution; armOrder is the declaration
+	// order; tallies holds this shard's per-arm telemetry contributions
+	// (indexed by armState.idx), written only by the apply loop and
+	// summed lock-free by reports — and persisted per shard, so arm
+	// telemetry survives restarts.
+	arms     map[string]*armState
+	armOrder []*armState
+	tallies  []armTally
 
 	// Owned exclusively by the apply loop:
-	treap   *rankengine.Treap
-	poolIDs []int       // zero-awareness page ids, swap-remove order
-	poolPos map[int]int // id -> index in poolIDs
 	rng     *randutil.RNG
 	scratch []int // pool-sampling buffer
 
 	snap atomic.Pointer[snapshot]
 
-	slots       *slotCounters
-	impressions atomic.Uint64
-	clicks      atomic.Uint64
-	dropped     atomic.Uint64
+	// slots is this shard's per-position telemetry contribution (see
+	// slotCounters); per shard rather than corpus-wide so it snapshots
+	// consistently with the shard's LSN.
+	slots slotCounters
+
+	// Durability (nil/zero when the corpus is in-memory):
+	st     *store.Shard
+	killed *atomic.Bool // corpus-wide crash-simulation flag
+	encBuf []byte       // record encode scratch
+	reqBuf []applyReq   // group-commit drain scratch
+	// appliedLSN, snapLSN, walLag and the snapshot-failure telemetry are
+	// written by the apply loop and read lock-free by Health.
+	appliedLSN   atomic.Uint64
+	snapLSN      atomic.Uint64
+	walLag       atomic.Int64
+	snapFailures atomic.Uint64
+	snapErr      atomic.Pointer[string]
+	lastSnap     time.Time // apply-loop only
 }
 
 // Corpus is the live sharded corpus behind the service. All methods are
@@ -277,8 +335,13 @@ type shard struct {
 type Corpus struct {
 	cfg    Config
 	shards []*shard
-	slots  slotCounters
 	wg     sync.WaitGroup
+
+	// Durability (nil/false when Config.DataDir was empty):
+	st       *store.Store
+	durable  bool
+	killed   atomic.Bool
+	recovery RecoveryInfo
 
 	// arms holds the experiment arms in declaration order; armIdx indexes
 	// them by name. pages and zeroAware count the corpus population for
@@ -300,9 +363,13 @@ type Corpus struct {
 	scratch sync.Pool // *reqScratch
 }
 
-// NewCorpus validates the configuration, builds an empty live corpus and
-// starts one apply goroutine per shard. Callers must Close it to stop
-// them.
+// NewCorpus validates the configuration, builds a live corpus and starts
+// one apply goroutine per shard. With Config.DataDir set it first
+// recovers the previous state from disk — load each shard's newest
+// snapshot, replay its WAL tail through the same apply path live
+// feedback runs, rebuild the search index — and only then starts
+// serving; Recovery reports what it found. Callers must Close it to
+// stop the apply loops.
 func NewCorpus(cfg Config) (*Corpus, error) {
 	// Validate is the only gate: sizing fields, then either the arm
 	// declarations (via buildArms) or the single Policy — never both, so
@@ -315,7 +382,7 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), arms: arms}
+	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), arms: arms, durable: cfg.DataDir != ""}
 	c.armIdx = make(map[string]*armState, len(arms))
 	for _, a := range arms {
 		c.armIdx[a.name] = a
@@ -329,21 +396,40 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 			heads: make([]int, cfg.Shards),
 		}
 	}
+	if c.durable {
+		fsync, _ := wal.ParseFsyncMode(cfg.FsyncMode) // Validate already vetted it
+		st, err := store.Open(cfg.DataDir, storeMeta(cfg), wal.Options{Fsync: fsync, SegmentBytes: cfg.walSegmentBytes})
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		c.st = st
+	}
 	c.shards = make([]*shard, cfg.Shards)
 	for i := range c.shards {
 		sh := &shard{
-			cfg:       cfg,
-			slots:     &c.slots,
-			arms:      c.armIdx,
-			pages:     &c.pages,
-			zeroAware: &c.zeroAware,
-			ch:        make(chan applyReq, cfg.QueueLen),
-			treap:     rankengine.New(cfg.Seed + uint64(i)*2654435761),
-			poolPos:   make(map[int]int),
-			rng:       randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
+			cfg:      cfg,
+			arms:     c.armIdx,
+			armOrder: arms,
+			tallies:  make([]armTally, len(arms)),
+			ch:       make(chan applyReq, cfg.QueueLen),
+			rng:      randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
+		}
+		sh.shardState.init(cfg.Seed+uint64(i)*2654435761, c.durable, &c.pages, &c.zeroAware)
+		if c.durable {
+			sh.st = c.st.Shard(i)
+			sh.killed = &c.killed
 		}
 		sh.snap.Store(&snapshot{})
 		c.shards[i] = sh
+	}
+	if c.durable {
+		if err := c.recover(); err != nil {
+			c.st.Close()
+			return nil, err
+		}
+	}
+	for _, sh := range c.shards {
+		sh := sh
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -351,6 +437,21 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 		}()
 	}
 	return c, nil
+}
+
+// storeMeta renders the corpus shape (shard count plus the declared
+// arms' policy specs) for meta.json — the baseline the offline replay
+// evaluator swaps policies against.
+func storeMeta(cfg Config) store.Meta {
+	m := store.Meta{Shards: cfg.Shards}
+	if len(cfg.Arms) == 0 {
+		m.Arms = []store.ArmMeta{{Name: DefaultArmName, Spec: policySpec(cfg).Compact()}}
+		return m
+	}
+	for _, a := range cfg.Arms {
+		m.Arms = append(m.Arms, store.ArmMeta{Name: a.Name, Spec: a.Policy.Compact()})
+	}
+	return m
 }
 
 // Shards returns the shard count.
@@ -379,34 +480,48 @@ func (c *Corpus) Add(id int, text string, popularity float64) error {
 	if err != nil {
 		return err
 	}
-	st := Stat{ID: id, Popularity: popularity, Birth: birth, Aware: popularity > 0}
-	c.shardFor(id).ch <- applyReq{add: []Stat{st}}
+	c.shardFor(id).ch <- applyReq{add: []AddRecord{{ID: id, Text: text, Popularity: popularity, Birth: birth}}}
 	return nil
 }
 
 // Feedback partitions the events by shard and enqueues them on the
-// single-writer apply loops. It blocks only when a shard queue is full
-// (backpressure). Events for unknown pages are counted and dropped at
-// apply time.
+// single-writer apply loops. In-memory it blocks only when a shard queue
+// is full (backpressure); on a durable corpus it returns only after
+// every event has been group-committed to the WAL and applied, so a
+// Feedback that returned — an acknowledgement, e.g. the HTTP 202 — is a
+// promise the events survive a crash. Events for unknown pages are
+// counted and dropped at apply time.
 func (c *Corpus) Feedback(events []Event) {
 	if len(events) == 0 {
 		return
 	}
+	var acks []chan struct{}
+	ack := func() chan struct{} {
+		if !c.durable {
+			return nil
+		}
+		d := make(chan struct{})
+		acks = append(acks, d)
+		return d
+	}
 	if len(c.shards) == 1 {
 		batch := make([]Event, len(events))
 		copy(batch, events)
-		c.shards[0].ch <- applyReq{events: batch}
-		return
-	}
-	batches := make([][]Event, len(c.shards))
-	for _, e := range events {
-		si := int(uint(e.Page) % uint(len(c.shards)))
-		batches[si] = append(batches[si], e)
-	}
-	for si, b := range batches {
-		if len(b) > 0 {
-			c.shards[si].ch <- applyReq{events: b}
+		c.shards[0].ch <- applyReq{events: batch, done: ack()}
+	} else {
+		batches := make([][]Event, len(c.shards))
+		for _, e := range events {
+			si := int(uint(e.Page) % uint(len(c.shards)))
+			batches[si] = append(batches[si], e)
 		}
+		for si, b := range batches {
+			if len(b) > 0 {
+				c.shards[si].ch <- applyReq{events: b, done: ack()}
+			}
+		}
+	}
+	for _, d := range acks {
+		<-d
 	}
 }
 
@@ -423,14 +538,40 @@ func (c *Corpus) Sync() {
 	}
 }
 
-// Close stops the apply loops after draining their queues. The corpus
-// remains readable (Rank, Top, Page, Stats) but must not receive further
-// Add, Feedback or Sync calls.
+// Close stops the apply loops after draining their queues. A durable
+// corpus writes a final snapshot per shard before its WAL closes, so the
+// next boot recovers instantly. The corpus remains readable (Rank, Top,
+// Page, Stats) but must not receive further Add, Feedback or Sync calls.
 func (c *Corpus) Close() {
 	for _, sh := range c.shards {
 		close(sh.ch)
 	}
 	c.wg.Wait()
+	if c.st != nil {
+		// The shards already closed their own WALs; this releases the
+		// directory lock so another corpus (or the replay tool) may open
+		// the data dir.
+		c.st.Close()
+	}
+}
+
+// Kill is the SIGKILL-equivalent shutdown for crash testing: it stops
+// the apply loops WITHOUT the final snapshot or queue-drain courtesy of
+// Close, abandoning whatever was still queued — exactly the state a
+// crashed process leaves behind. Recovery from the DataDir must
+// reconstruct everything that was acknowledged before the kill. Like
+// Close, it must not race Add, Feedback or Sync.
+func (c *Corpus) Kill() {
+	c.killed.Store(true)
+	for _, sh := range c.shards {
+		close(sh.ch)
+	}
+	c.wg.Wait()
+	// A dead process loses its flock too; releasing it keeps the crash
+	// simulation honest (the restart must be able to lock the dir).
+	if c.st != nil {
+		c.st.Close()
+	}
 }
 
 // Page returns a page's current serving state.
@@ -474,13 +615,19 @@ func (c *Corpus) Stats() Stats {
 
 // SlotTelemetry returns (impressions, clicks) for the 1-based result
 // position, counting only feedback actually applied — the per-slot log
-// position-bias measurement needs. Slots beyond SlotTrack fold into the
-// SlotTrack bucket; out-of-range slots return zeros.
+// position-bias measurement needs. The table is kept per shard (so it
+// snapshots consistently with each shard's WAL position) and summed
+// here. Slots beyond SlotTrack fold into the SlotTrack bucket;
+// out-of-range slots return zeros.
 func (c *Corpus) SlotTelemetry(slot int) (impressions, clicks uint64) {
 	if slot < 1 || slot > SlotTrack {
 		return 0, 0
 	}
-	return c.slots.imp[slot-1].Load(), c.slots.clk[slot-1].Load()
+	for _, sh := range c.shards {
+		impressions += sh.slots.imp[slot-1].Load()
+		clicks += sh.slots.clk[slot-1].Load()
+	}
+	return impressions, clicks
 }
 
 // Epoch returns the sum of the shard snapshot epochs: a monotone counter
@@ -920,125 +1067,171 @@ func (c *Corpus) Top(n int) []Stat {
 	return out
 }
 
-// run is a shard's apply loop: the only goroutine that touches the treap,
-// the zero-awareness pool and the stored stats. It applies each batch,
-// then republishes the snapshot once if ranking state changed.
+// run is a shard's apply loop: the only goroutine that touches the
+// shard's mutable ranking state. The in-memory path applies each request
+// exactly as the pre-durability service did — one request, one optional
+// republish — keeping its RNG draw sequence byte-identical to the golden
+// fixtures. The durable path adds group commit underneath: it drains
+// every queued request, logs all their records with one WAL append
+// batch, fsyncs once (per FsyncMode), and only then applies,
+// republishes, and acknowledges — so an acknowledged batch is on disk
+// before anyone learns it was applied, at one fsync per group rather
+// than per event.
 func (sh *shard) run() {
-	for req := range sh.ch {
-		dirty := false
-		for _, st := range req.add {
-			if sh.applyAdd(st) {
-				dirty = true
+	if sh.st == nil {
+		for req := range sh.ch {
+			dirty := false
+			for _, a := range req.add {
+				if sh.liveAdd(a) {
+					dirty = true
+				}
+			}
+			// One clock read per request, mirroring the durable branch's
+			// one stamp per group.
+			var now int64
+			if len(req.events) > 0 {
+				now = time.Now().UnixNano()
+			}
+			for _, e := range req.events {
+				if sh.liveEvent(e, now) {
+					dirty = true
+				}
+			}
+			if dirty {
+				sh.publish()
+			}
+			if req.done != nil {
+				close(req.done)
 			}
 		}
-		for _, e := range req.events {
-			if sh.applyEvent(e) {
-				dirty = true
+		return
+	}
+	for {
+		req, ok := <-sh.ch
+		if !ok {
+			sh.shutdown()
+			return
+		}
+		reqs := append(sh.reqBuf[:0], req)
+		closed := false
+	drain:
+		for {
+			select {
+			case r, ok := <-sh.ch:
+				if !ok {
+					closed = true
+					break drain
+				}
+				reqs = append(reqs, r)
+			default:
+				break drain
+			}
+		}
+		sh.reqBuf = reqs[:0]
+		if sh.killed != nil && sh.killed.Load() {
+			// Crash simulation: abandon the queue exactly as a dead
+			// process would — nothing here was acknowledged.
+			sh.shutdown()
+			return
+		}
+		// One timestamp per group: the clock every applyEvent in the
+		// batch runs on, logged in each record so recovery and replay
+		// reproduce time-dependent telemetry exactly.
+		now := time.Now().UnixNano()
+		buf := sh.encBuf[:0]
+		for _, r := range reqs {
+			for _, a := range r.add {
+				buf = appendAddRecord(buf[:0], a, now)
+				sh.mustAppend(buf)
+			}
+			for _, e := range r.events {
+				buf = appendEventRecord(buf[:0], e, now)
+				sh.mustAppend(buf)
+			}
+		}
+		sh.encBuf = buf
+		if err := sh.st.Log.Commit(); err != nil {
+			// An apply loop that cannot make its log durable must not keep
+			// acknowledging feedback; failing loudly is the only honest
+			// option for a durability-configured deployment.
+			panic(fmt.Sprintf("serve: shard WAL commit failed: %v", err))
+		}
+		// One publish per drained group, not per request: the group
+		// boundary that amortizes the fsync amortizes the top-list
+		// rebuild too. It lands before the done channels close, so the
+		// Sync/ack contract (applied AND published) holds.
+		dirty := false
+		for _, r := range reqs {
+			for _, a := range r.add {
+				if sh.liveAdd(a) {
+					dirty = true
+				}
+			}
+			for _, e := range r.events {
+				if sh.liveEvent(e, now) {
+					dirty = true
+				}
 			}
 		}
 		if dirty {
 			sh.publish()
 		}
-		if req.done != nil {
-			close(req.done)
-		}
-	}
-}
-
-func (sh *shard) applyAdd(st Stat) bool {
-	if _, ok := sh.stats.Load(st.ID); ok {
-		// The index already rejects duplicate ids; a duplicate here would
-		// mean double accounting, so drop defensively.
-		sh.dropped.Add(1)
-		return false
-	}
-	stored := st
-	sh.stats.Store(st.ID, &stored)
-	sh.pages.Add(1)
-	if st.Aware {
-		sh.treap.Insert(rankengine.Entry{ID: st.ID, Popularity: st.Popularity, BirthDay: st.Birth})
-	} else {
-		sh.zeroAware.Add(1)
-		sh.poolPos[st.ID] = len(sh.poolIDs)
-		sh.poolIDs = append(sh.poolIDs, st.ID)
-	}
-	return true
-}
-
-func (sh *shard) applyEvent(e Event) bool {
-	v, ok := sh.stats.Load(e.Page)
-	if !ok {
-		sh.dropped.Add(1)
-		return false
-	}
-	// A slot below 1 has no presented position to attribute the counts
-	// to; dropping (rather than applying without telemetry) keeps the
-	// slot table summing to ImpressionsApplied/ClicksApplied.
-	if e.Impressions < 0 || e.Clicks < 0 || e.Slot < 1 {
-		sh.dropped.Add(1)
-		return false
-	}
-	st := *v.(*Stat)
-	// Arm attribution is best-effort telemetry: events with an empty or
-	// unknown arm name still apply in full, they just credit no arm.
-	arm := sh.arms[e.Arm]
-	// Time-to-first-click measures the gap from an EARLIER event's first
-	// impression to the discovering click, so capture the pre-event value
-	// before stamping: an event carrying both the page's first impression
-	// and its first click contributes no (degenerate ~0) sample.
-	priorFirstImp := st.firstImpNanos
-	if st.Impressions == 0 && e.Impressions > 0 {
-		st.firstImpNanos = time.Now().UnixNano()
-	}
-	st.Impressions += int64(e.Impressions)
-	st.Clicks += int64(e.Clicks)
-	sh.impressions.Add(uint64(e.Impressions))
-	sh.slots.record(e)
-	if arm != nil {
-		arm.impressions.Add(uint64(e.Impressions))
-		arm.clicks.Add(uint64(e.Clicks))
-	}
-	rankChanged := false
-	if e.Clicks > 0 {
-		st.Popularity += float64(e.Clicks)
-		sh.clicks.Add(uint64(e.Clicks))
-		entry := rankengine.Entry{ID: st.ID, Popularity: st.Popularity, BirthDay: st.Birth}
-		if st.Aware {
-			sh.treap.Update(entry)
-		} else {
-			// First click: the page is now explored — promote it out of
-			// the zero-awareness pool into the deterministic ranking
-			// (§4's selective rule). This is a discovery for the arm that
-			// served the click.
-			st.Aware = true
-			sh.zeroAware.Add(-1)
-			sh.removeFromPool(st.ID)
-			sh.treap.Insert(entry)
-			if arm != nil {
-				arm.discoveries.Add(1)
-				if priorFirstImp > 0 {
-					arm.ttfcSumNanos.Add(time.Now().UnixNano() - priorFirstImp)
-					arm.ttfcCount.Add(1)
-				}
+		for _, r := range reqs {
+			if r.done != nil {
+				close(r.done)
 			}
 		}
-		rankChanged = true
+		sh.maybeSnapshot()
+		if closed {
+			sh.shutdown()
+			return
+		}
 	}
-	sh.stats.Store(st.ID, &st)
-	return rankChanged
 }
 
-func (sh *shard) removeFromPool(id int) {
-	pos, ok := sh.poolPos[id]
-	if !ok {
-		return
+// mustAppend logs one record and advances the shard's LSN/lag counters.
+func (sh *shard) mustAppend(payload []byte) {
+	lsn, err := sh.st.Log.Append(payload)
+	if err != nil {
+		panic(fmt.Sprintf("serve: shard WAL append failed: %v", err))
 	}
-	last := len(sh.poolIDs) - 1
-	moved := sh.poolIDs[last]
-	sh.poolIDs[pos] = moved
-	sh.poolPos[moved] = pos
-	sh.poolIDs = sh.poolIDs[:last]
-	delete(sh.poolPos, id)
+	sh.appliedLSN.Store(lsn)
+	sh.walLag.Add(int64(len(payload)))
+}
+
+// liveAdd applies one addition through the shared event-application path.
+func (sh *shard) liveAdd(a AddRecord) bool {
+	return sh.shardState.applyAdd(a)
+}
+
+// liveEvent applies one event through the shared event-application path
+// and credits the serving-side telemetry — the per-slot table and the
+// per-arm tallies — from its outcome. Arm attribution is best-effort:
+// events with an empty or unknown arm name still apply in full, they
+// just credit no arm.
+func (sh *shard) liveEvent(e Event, nanos int64) bool {
+	out := sh.shardState.applyEvent(e, nanos)
+	if !out.applied {
+		return false
+	}
+	sh.slots.record(e)
+	if arm := sh.arms[e.Arm]; arm != nil {
+		t := &sh.tallies[arm.idx]
+		t.impressions.Add(uint64(e.Impressions))
+		t.clicks.Add(uint64(e.Clicks))
+		if out.discovery {
+			// A discovery for the arm that served the click. The
+			// time-to-first-click sample measures the gap from an EARLIER
+			// event's first impression to the discovering click; an event
+			// carrying both contributes no (degenerate ~0) sample.
+			t.discoveries.Add(1)
+			if out.priorFirstImp > 0 {
+				t.ttfcSumNanos.Add(nanos - out.priorFirstImp)
+				t.ttfcCount.Add(1)
+			}
+		}
+	}
+	return out.rankChanged
 }
 
 // publish rebuilds and atomically swaps the shard's snapshot: the treap's

@@ -2,8 +2,9 @@
 // result lists, POST /feedback ingests slot-level impressions and clicks,
 // GET /stats exposes corpus accounting plus the per-slot telemetry that
 // makes promotion evaluable online (position-bias measurement needs
-// impression/click counts per presented position), and GET /healthz is a
-// liveness probe.
+// impression/click counts per presented position), and GET /healthz is
+// the readiness probe: recovery state, per-shard feedback-queue depth
+// and WAL lag.
 //
 // The hot handlers (/rank, /feedback) run allocation-light: request
 // bodies are read into pooled buffers, and responses are written by an
@@ -314,8 +315,18 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ExperimentResponse{Arms: s.corpus.Arms()})
 }
 
+// HealthzResponse is the GET /healthz reply: readiness plus the
+// durability picture — per-shard feedback-queue depth and WAL lag (bytes
+// not yet covered by a snapshot). The daemon serves a {"status":
+// "recovering"} variant from a placeholder handler while boot-time
+// recovery is still replaying the log.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	HealthReport
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ready", HealthReport: s.corpus.Health()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,232 @@
+// The pure event-application path. Every mutation of a shard's ranking
+// state — live feedback, boot-time recovery, and offline log replay —
+// flows through shardState.applyAdd / shardState.applyEvent and nothing
+// else, so the three paths cannot drift: replaying the same records in
+// the same order reproduces popularity, awareness, per-page counters and
+// the first-impression timestamps bit for bit. The apply functions take
+// their clock as an argument (the nanos stamped into the WAL record at
+// group-commit time) instead of reading time.Now, which is what makes
+// recovery and replay exact rather than approximate.
+//
+// Serving-side telemetry that is NOT corpus state (per-slot counters,
+// per-arm attribution) stays out of shardState: applyEvent returns an
+// outcome describing what happened (applied? rank changed? a discovery?
+// the pre-event first-impression stamp) and each caller credits its own
+// telemetry from it — the live shard credits slot tables and arm
+// tallies, recovery does the same to restore them exactly, and the
+// counterfactual replay evaluator applies its own eligibility filter.
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rankengine"
+	"repro/internal/store"
+)
+
+// AddRecord is the durable form of a page addition: everything needed to
+// reconstruct the page's serving state and its search-index entry.
+type AddRecord struct {
+	ID         int
+	Text       string
+	Popularity float64
+	Birth      int
+}
+
+// outcome reports what applying one event did to shard state.
+type outcome struct {
+	// applied is false when the event was dropped (unknown page, bad
+	// slot, negative counts).
+	applied bool
+	// rankChanged reports that the deterministic ranking moved (clicks
+	// landed), so the shard snapshot needs republishing.
+	rankChanged bool
+	// discovery reports the event's first click promoted a zero-awareness
+	// page into the deterministic ranking.
+	discovery bool
+	// priorFirstImp is the page's first-impression stamp from BEFORE this
+	// event (0 = never shown), the baseline for time-to-first-click.
+	priorFirstImp int64
+}
+
+// shardState is the event-sourced corpus state of one shard: exactly
+// what snapshots persist and what the WAL reconstructs. A single
+// goroutine owns all mutation; stats is read lock-free by the serving
+// paths.
+type shardState struct {
+	// stats maps page id -> *Stat. Written only by the owning apply
+	// goroutine; read lock-free by every request.
+	stats sync.Map
+
+	// Owned exclusively by the applier:
+	treap   *rankengine.Treap
+	poolIDs []int       // zero-awareness page ids, swap-remove order
+	poolPos map[int]int // id -> index in poolIDs
+	// texts retains each page's indexed text for snapshotting (durable
+	// corpora must be able to rebuild the search index at boot); nil when
+	// the corpus is in-memory only.
+	texts map[int]string
+
+	// pages and zeroAware are the corpus-wide population counters the
+	// state-dependent policies read; shared across shards by the owner.
+	pages     *atomic.Int64
+	zeroAware *atomic.Int64
+
+	// impressions, clicks and dropped count feedback folded into (or
+	// rejected by) this shard, read lock-free by Stats.
+	impressions atomic.Uint64
+	clicks      atomic.Uint64
+	dropped     atomic.Uint64
+}
+
+// init prepares the state. retainText must be set for durable corpora.
+func (st *shardState) init(treapSeed uint64, retainText bool, pages, zeroAware *atomic.Int64) {
+	st.treap = rankengine.New(treapSeed)
+	st.poolPos = make(map[int]int)
+	if retainText {
+		st.texts = make(map[int]string)
+	}
+	st.pages = pages
+	st.zeroAware = zeroAware
+}
+
+// applyAdd folds one page addition into the state. A page with
+// popularity zero starts in the zero-awareness promotion pool; positive
+// popularity marks it already explored. Duplicates are dropped
+// defensively (the index layer already rejects them in the live path).
+func (st *shardState) applyAdd(a AddRecord) bool {
+	if _, ok := st.stats.Load(a.ID); ok {
+		st.dropped.Add(1)
+		return false
+	}
+	stored := Stat{ID: a.ID, Popularity: a.Popularity, Birth: a.Birth, Aware: a.Popularity > 0}
+	st.stats.Store(a.ID, &stored)
+	if st.texts != nil {
+		st.texts[a.ID] = a.Text
+	}
+	st.pages.Add(1)
+	if stored.Aware {
+		st.treap.Insert(rankengine.Entry{ID: a.ID, Popularity: a.Popularity, BirthDay: a.Birth})
+	} else {
+		st.zeroAware.Add(1)
+		st.poolPos[a.ID] = len(st.poolIDs)
+		st.poolIDs = append(st.poolIDs, a.ID)
+	}
+	return true
+}
+
+// applyEvent folds one feedback event into the state at time nanos (the
+// stamp carried by the event's WAL record; the live in-memory path
+// stamps its current batch). Clicks increase popularity and — per the
+// selective rule — a first click promotes the page out of the
+// zero-awareness pool. Impressions alone only stamp first-impression
+// time. Events with a slot below 1, negative counts or an unknown page
+// are dropped.
+func (st *shardState) applyEvent(e Event, nanos int64) outcome {
+	v, ok := st.stats.Load(e.Page)
+	if !ok {
+		st.dropped.Add(1)
+		return outcome{}
+	}
+	// A slot below 1 has no presented position to attribute the counts
+	// to; dropping (rather than applying without telemetry) keeps the
+	// slot table summing to ImpressionsApplied/ClicksApplied.
+	if e.Impressions < 0 || e.Clicks < 0 || e.Slot < 1 {
+		st.dropped.Add(1)
+		return outcome{}
+	}
+	s := *v.(*Stat)
+	out := outcome{applied: true, priorFirstImp: s.firstImpNanos}
+	if s.Impressions == 0 && e.Impressions > 0 {
+		s.firstImpNanos = nanos
+	}
+	s.Impressions += int64(e.Impressions)
+	s.Clicks += int64(e.Clicks)
+	st.impressions.Add(uint64(e.Impressions))
+	if e.Clicks > 0 {
+		s.Popularity += float64(e.Clicks)
+		st.clicks.Add(uint64(e.Clicks))
+		entry := rankengine.Entry{ID: s.ID, Popularity: s.Popularity, BirthDay: s.Birth}
+		if s.Aware {
+			st.treap.Update(entry)
+		} else {
+			// First click: the page is now explored — promote it out of
+			// the zero-awareness pool into the deterministic ranking
+			// (§4's selective rule).
+			s.Aware = true
+			st.zeroAware.Add(-1)
+			st.removeFromPool(s.ID)
+			st.treap.Insert(entry)
+			out.discovery = true
+		}
+		out.rankChanged = true
+	}
+	st.stats.Store(s.ID, &s)
+	return out
+}
+
+func (st *shardState) removeFromPool(id int) {
+	pos, ok := st.poolPos[id]
+	if !ok {
+		return
+	}
+	last := len(st.poolIDs) - 1
+	moved := st.poolIDs[last]
+	st.poolIDs[pos] = moved
+	st.poolPos[moved] = pos
+	st.poolIDs = st.poolIDs[:last]
+	delete(st.poolPos, id)
+}
+
+// loadPage restores one page from a snapshot record, bypassing the WAL
+// path (the snapshot already folded its history in).
+func (st *shardState) loadPage(p store.PageRecord) {
+	stored := Stat{
+		ID:            p.ID,
+		Popularity:    p.Popularity,
+		Birth:         p.Birth,
+		Aware:         p.Aware,
+		Impressions:   p.Impressions,
+		Clicks:        p.Clicks,
+		firstImpNanos: p.FirstImpNanos,
+	}
+	st.stats.Store(p.ID, &stored)
+	if st.texts != nil {
+		st.texts[p.ID] = p.Text
+	}
+	st.pages.Add(1)
+	if p.Aware {
+		st.treap.Insert(rankengine.Entry{ID: p.ID, Popularity: p.Popularity, BirthDay: p.Birth})
+	} else {
+		st.zeroAware.Add(1)
+		st.poolPos[p.ID] = len(st.poolIDs)
+		st.poolIDs = append(st.poolIDs, p.ID)
+	}
+}
+
+// pageRecords captures every page as snapshot records, sorted by birth
+// so snapshot bytes (and restored iteration order) are deterministic.
+func (st *shardState) pageRecords() []store.PageRecord {
+	var out []store.PageRecord
+	st.stats.Range(func(_, v any) bool {
+		s := v.(*Stat)
+		rec := store.PageRecord{
+			ID:            s.ID,
+			Popularity:    s.Popularity,
+			Birth:         s.Birth,
+			Aware:         s.Aware,
+			Impressions:   s.Impressions,
+			Clicks:        s.Clicks,
+			FirstImpNanos: s.firstImpNanos,
+		}
+		if st.texts != nil {
+			rec.Text = st.texts[s.ID]
+		}
+		out = append(out, rec)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Birth < out[j].Birth })
+	return out
+}

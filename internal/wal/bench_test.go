@@ -1,0 +1,44 @@
+package wal
+
+import "testing"
+
+// BenchmarkWALAppend measures the group-commit append path the serving
+// layer's shards run: a batch of framed records buffered with Append and
+// made durable by one Commit — one fsync amortized over the whole batch
+// (FsyncBatch). The payload is sized like a feedback event record.
+func BenchmarkWALAppend(b *testing.B) {
+	const batch = 64
+	payload := make([]byte, 48)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	l, _, err := Open(b.TempDir(), Options{Fsync: FsyncBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	// Warm the frame buffer to steady-state capacity before the timer.
+	for i := 0; i < batch; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%batch == 0 {
+			if err := l.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := l.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}

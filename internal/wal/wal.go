@@ -1,0 +1,571 @@
+// Package wal is a segmented append-only write-ahead log with CRC-framed
+// records and group-commit fsync — the durability floor under the online
+// serving layer's shard state.
+//
+// Records are opaque payloads framed as
+//
+//	[length uint32][crc uint32][payload]
+//
+// (little-endian, CRC-32C over the length bytes and the payload), written
+// to numbered segment files named wal-%016x.seg after the LSN of their
+// first record. LSNs are 1-based and monotone across segments, so a
+// record's position in the logical log never changes when old segments
+// are truncated away behind a snapshot.
+//
+// Appends buffer frames in memory; Commit writes every buffered frame
+// with one Write call and makes it durable per the configured FsyncMode.
+// That shape is group commit: a caller that batches many records per
+// Commit pays one fsync for the whole batch, keeping the hot apply path
+// off the fsync critical path (FsyncBatch). FsyncAlways syncs every
+// Commit too but is meant for callers that commit per record; FsyncNone
+// never syncs and leaves durability to OS writeback.
+//
+// Open validates the existing log: every frame of every segment is
+// CRC-checked. A bad frame in the LAST segment is a torn write — the
+// crash left a partial record at the tail — so Open physically truncates
+// the torn suffix and reports how many bytes were dropped. A bad frame
+// anywhere else means data after the corruption is unreachable without
+// violating append order, so Open refuses with ErrCorrupt rather than
+// silently dropping interior history.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FsyncMode selects when Commit makes appended records durable.
+type FsyncMode int
+
+const (
+	// FsyncBatch fsyncs once per Commit: group commit, the default.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways is Commit-synchronous too; it differs from FsyncBatch
+	// only in intent (callers commit per record, trading throughput for
+	// the smallest possible loss window).
+	FsyncAlways
+	// FsyncNone never fsyncs; durability is whatever the OS writeback
+	// provides. Fastest, loses the tail on power failure.
+	FsyncNone
+)
+
+// ParseFsyncMode maps the flag/config strings to a mode. The empty
+// string selects FsyncBatch.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "", "batch":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync mode %q (want batch, always or none)", s)
+}
+
+// String renders the mode as its flag form.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// ErrCorrupt reports a CRC or framing failure before the final segment's
+// tail — interior history is damaged and the log cannot be trusted.
+var ErrCorrupt = errors.New("wal: interior corruption")
+
+const (
+	frameHeader = 8 // uint32 length + uint32 crc
+	// MaxRecord bounds a single record payload; a frame claiming more is
+	// treated as corruption rather than a 4GB allocation.
+	MaxRecord = 16 << 20
+	// DefaultSegmentBytes rotates segments at 4MB so truncation behind a
+	// snapshot reclaims space in bounded steps.
+	DefaultSegmentBytes = 4 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options sizes a Log. Zero values select defaults.
+type Options struct {
+	// Fsync is the commit durability mode (default FsyncBatch).
+	Fsync FsyncMode
+	// SegmentBytes rotates to a new segment once the active one reaches
+	// this size (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// ReadOnly opens the log for replay only: a torn tail is noted and
+	// skipped but NOT physically truncated, no file is opened for
+	// appending, and Append/Commit fail. The mode for offline tools
+	// reading a log they do not own.
+	ReadOnly bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	return o
+}
+
+// segment is one on-disk file of the log.
+type segment struct {
+	path  string
+	first uint64 // LSN of the first record
+	last  uint64 // LSN of the last record (first-1 when empty)
+	size  int64
+}
+
+// RecoverInfo describes what Open found.
+type RecoverInfo struct {
+	// FirstLSN and LastLSN bound the records retained on disk
+	// (FirstLSN > LastLSN means the log is empty).
+	FirstLSN, LastLSN uint64
+	// TornBytes is how many trailing bytes of the last segment were
+	// dropped as a torn write.
+	TornBytes int64
+	// Records is how many intact records the log holds.
+	Records uint64
+}
+
+// Log is an open write-ahead log. It is not safe for concurrent use; the
+// serving layer gives each shard its own Log owned by the shard's single
+// apply goroutine.
+type Log struct {
+	dir      string
+	opts     Options
+	segments []segment
+	active   *os.File
+	buf      []byte // frames appended since the last Commit
+	bufFirst uint64 // LSN of the first buffered frame
+	nextLSN  uint64
+	size     int64 // bytes across all segments, including uncommitted
+	dirSync  bool  // directory fsync needed after the next rotation
+}
+
+// Open validates the log in dir (creating it when absent), truncates any
+// torn tail, and positions for appending.
+func Open(dir string, opts Options) (*Log, RecoverInfo, error) {
+	opts = opts.withDefaults()
+	var info RecoverInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, info, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := scanSegments(dir)
+	if err != nil {
+		return nil, info, err
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	if len(segs) > 0 {
+		// Truncation may have removed the log's prefix; contiguity is
+		// required only from the first retained segment onward.
+		l.nextLSN = segs[0].first
+	}
+	for i := range segs {
+		seg := &segs[i]
+		last := i == len(segs)-1
+		if seg.first != l.nextLSN {
+			return nil, info, fmt.Errorf("%w: segment %s starts at lsn %d, want %d",
+				ErrCorrupt, filepath.Base(seg.path), seg.first, l.nextLSN)
+		}
+		n, validBytes, torn, err := validateSegment(seg.path)
+		if err != nil {
+			return nil, info, err
+		}
+		if torn > 0 {
+			if !last {
+				return nil, info, fmt.Errorf("%w: bad frame %d bytes into non-final segment %s",
+					ErrCorrupt, validBytes, filepath.Base(seg.path))
+			}
+			// Replay bounds every read by seg.size, so a read-only open
+			// can simply note the torn suffix without rewriting a file it
+			// does not own.
+			if !opts.ReadOnly {
+				if err := os.Truncate(seg.path, validBytes); err != nil {
+					return nil, info, fmt.Errorf("wal: truncating torn tail: %w", err)
+				}
+			}
+			info.TornBytes = torn
+		}
+		seg.last = seg.first + n - 1
+		seg.size = validBytes
+		l.nextLSN = seg.last + 1
+		l.size += validBytes
+		info.Records += n
+		l.segments = append(l.segments, *seg)
+	}
+	if len(l.segments) > 0 {
+		info.FirstLSN = l.segments[0].first
+		info.LastLSN = l.nextLSN - 1
+		if !opts.ReadOnly {
+			// Reopen the final segment for appending.
+			lastSeg := &l.segments[len(l.segments)-1]
+			f, err := os.OpenFile(lastSeg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, info, fmt.Errorf("wal: %w", err)
+			}
+			l.active = f
+		}
+	} else {
+		info.FirstLSN = 1
+		info.LastLSN = 0
+	}
+	return l, info, nil
+}
+
+// scanSegments lists the segment files in LSN order.
+func scanSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("wal: unparseable segment name %q", name)
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), first: lsn})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// validateSegment CRC-checks every frame, returning the record count, the
+// byte offset of the end of the last valid frame, and how many trailing
+// bytes fail validation (0 = fully intact).
+func validateSegment(path string) (records uint64, validBytes, tornBytes int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	off := int64(0)
+	for {
+		n, ok := frameAt(data, off)
+		if !ok {
+			return records, off, int64(len(data)) - off, nil
+		}
+		records++
+		off += n
+		if off == int64(len(data)) {
+			return records, off, 0, nil
+		}
+	}
+}
+
+// frameAt validates the frame starting at off and returns its total
+// length.
+func frameAt(data []byte, off int64) (int64, bool) {
+	if int64(len(data))-off < frameHeader {
+		return 0, false
+	}
+	h := data[off : off+frameHeader]
+	length := binary.LittleEndian.Uint32(h[0:4])
+	crc := binary.LittleEndian.Uint32(h[4:8])
+	if length > MaxRecord || off+frameHeader+int64(length) > int64(len(data)) {
+		return 0, false
+	}
+	payload := data[off+frameHeader : off+frameHeader+int64(length)]
+	sum := crc32.Update(crc32.Checksum(h[0:4], crcTable), crcTable, payload)
+	if sum != crc {
+		return 0, false
+	}
+	return frameHeader + int64(length), true
+}
+
+// appendFrame frames payload into dst.
+func appendFrame(dst, payload []byte) []byte {
+	var h [frameHeader]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
+	sum := crc32.Update(crc32.Checksum(h[0:4], crcTable), crcTable, payload)
+	binary.LittleEndian.PutUint32(h[4:8], sum)
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// Append buffers one record and returns its LSN. The record is not
+// durable — and not even written — until Commit.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.opts.ReadOnly {
+		return 0, fmt.Errorf("wal: log opened read-only")
+	}
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	if len(l.buf) == 0 {
+		l.bufFirst = lsn
+	}
+	l.buf = appendFrame(l.buf, payload)
+	return lsn, nil
+}
+
+// Commit writes every record appended since the last Commit and makes
+// the batch durable per the fsync mode — the group-commit boundary.
+func (l *Log) Commit() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if err := l.ensureActive(); err != nil {
+		return err
+	}
+	if _, err := l.active.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	seg := &l.segments[len(l.segments)-1]
+	seg.size += int64(len(l.buf))
+	seg.last = l.nextLSN - 1
+	l.size += int64(len(l.buf))
+	l.buf = l.buf[:0]
+	if l.opts.Fsync != FsyncNone {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	if l.dirSync {
+		if err := SyncDir(l.dir); err != nil {
+			return err
+		}
+		l.dirSync = false
+	}
+	if seg.size >= l.opts.SegmentBytes {
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.active = nil
+	}
+	return nil
+}
+
+// ensureActive opens (rotating to) the segment the next write lands in.
+func (l *Log) ensureActive() error {
+	if l.active != nil {
+		return nil
+	}
+	// active is nil only on a fresh/fully-truncated log or right after a
+	// rotation close — both cases start a new segment (Open reopens a
+	// final segment with room itself).
+	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", l.bufFirst))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.segments = append(l.segments, segment{path: path, first: l.bufFirst, last: l.bufFirst - 1})
+	l.active = f
+	// Make the new directory entry durable with the first commit that
+	// lands in it.
+	l.dirSync = true
+	return nil
+}
+
+// NextLSN returns the LSN the next appended record will get.
+func (l *Log) NextLSN() uint64 { return l.nextLSN }
+
+// Size returns the total bytes across all retained segments, including
+// buffered-but-uncommitted frames.
+func (l *Log) Size() int64 { return l.size + int64(len(l.buf)) }
+
+// ResetTo discards every retained segment and repositions the log so
+// the next Append gets LSN lsn. Recovery uses it when a snapshot
+// strictly supersedes the surviving log (an unsynced tail lost to power
+// failure under FsyncNone, or deleted log files): every discarded
+// record is <= the covering snapshot's LSN, so state is intact and the
+// alternative — refusing to boot forever — helps nobody.
+func (l *Log) ResetTo(lsn uint64) error {
+	if l.opts.ReadOnly {
+		return fmt.Errorf("wal: log opened read-only")
+	}
+	if l.active != nil {
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.active = nil
+	}
+	for _, seg := range l.segments {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	l.segments = nil
+	l.buf = l.buf[:0]
+	l.size = 0
+	l.nextLSN = lsn
+	return SyncDir(l.dir)
+}
+
+// TruncateBefore deletes whole segments whose every record has LSN <=
+// lsn. The active (final) segment is never deleted, so the log always
+// retains its append position.
+func (l *Log) TruncateBefore(lsn uint64) error {
+	kept := l.segments[:0]
+	for i := range l.segments {
+		seg := l.segments[i]
+		if i < len(l.segments)-1 && seg.last <= lsn {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			l.size -= seg.size
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+	return nil
+}
+
+// Replay streams every committed record with LSN >= from, in order, to
+// fn. It reads the segment files as they are on disk; call it before
+// appending (recovery) or after Commit.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	for _, seg := range l.segments {
+		if seg.last < from {
+			continue
+		}
+		if err := replaySegment(seg, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment streams one segment's records with LSN >= from. Reads
+// are bounded by the validated size recorded at Open, so a torn tail
+// left in place by a read-only open — or bytes another writer appended
+// after Open — are never parsed.
+func replaySegment(seg segment, from uint64, fn func(lsn uint64, payload []byte) error) error {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	limit := seg.size
+	if limit > int64(len(data)) {
+		limit = int64(len(data))
+	}
+	off := int64(0)
+	lsn := seg.first
+	for off < limit {
+		n, ok := frameAt(data[:limit], off)
+		if !ok {
+			// Open validated every frame; anything unreadable now is new
+			// corruption.
+			return fmt.Errorf("%w: frame at %d of %s", ErrCorrupt, off, filepath.Base(seg.path))
+		}
+		if lsn >= from {
+			if err := fn(lsn, data[off+frameHeader:off+n]); err != nil {
+				return err
+			}
+		}
+		lsn++
+		off += n
+	}
+	return nil
+}
+
+// Reader is a pull-style cursor over the log's committed records,
+// loading ONE segment into memory at a time — the shape offline replay
+// needs to merge multiple shard logs without materializing whole
+// histories. The payload returned by Next aliases the reader's current
+// segment buffer and is valid only until the following Next call.
+type Reader struct {
+	segments []segment
+	from     uint64
+	segIdx   int
+	data     []byte
+	limit    int64
+	off      int64
+	lsn      uint64
+}
+
+// Reader returns a cursor over records with LSN >= from. Like Replay,
+// use it before appending (recovery/offline) or after Commit.
+func (l *Log) Reader(from uint64) *Reader {
+	segs := make([]segment, len(l.segments))
+	copy(segs, l.segments)
+	return &Reader{segments: segs, from: from}
+}
+
+// Next returns the next record, or ok=false at the end of the log.
+func (r *Reader) Next() (lsn uint64, payload []byte, ok bool, err error) {
+	for {
+		for r.data == nil {
+			if r.segIdx >= len(r.segments) {
+				return 0, nil, false, nil
+			}
+			seg := r.segments[r.segIdx]
+			if seg.last < r.from {
+				r.segIdx++
+				continue
+			}
+			data, err := os.ReadFile(seg.path)
+			if err != nil {
+				return 0, nil, false, fmt.Errorf("wal: %w", err)
+			}
+			r.data, r.off, r.lsn = data, 0, seg.first
+			r.limit = seg.size
+			if r.limit > int64(len(data)) {
+				r.limit = int64(len(data))
+			}
+		}
+		if r.off >= r.limit {
+			r.data = nil
+			r.segIdx++
+			continue
+		}
+		n, valid := frameAt(r.data[:r.limit], r.off)
+		if !valid {
+			seg := r.segments[r.segIdx]
+			return 0, nil, false, fmt.Errorf("%w: frame at %d of %s", ErrCorrupt, r.off, filepath.Base(seg.path))
+		}
+		lsn, payload = r.lsn, r.data[r.off+frameHeader:r.off+n]
+		r.lsn++
+		r.off += n
+		if lsn >= r.from {
+			return lsn, payload, true, nil
+		}
+	}
+}
+
+// Close commits buffered records and closes the active segment.
+func (l *Log) Close() error {
+	err := l.Commit()
+	if l.active != nil {
+		if cerr := l.active.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("wal: %w", cerr)
+		}
+		l.active = nil
+	}
+	return err
+}
+
+// SyncDir fsyncs a directory so renames, creates and removes within it
+// are durable — the shared crash-durability primitive for every
+// file-shuffling path in the data dir (the store's snapshot writer uses
+// it too).
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	// Some filesystems reject directory fsync (EINVAL); writeback gets
+	// there eventually, so a failure here is not worth aborting a commit
+	// whose data fsync already succeeded.
+	_ = d.Sync()
+	return nil
+}

@@ -71,3 +71,49 @@ func TestLiveRejectsBadPolicy(t *testing.T) {
 		t.Fatal("NewLive accepted an invalid policy")
 	}
 }
+
+// TestLiveDurableRestart covers the public durability surface: a Live
+// corpus with a DataDir survives Close and comes back with its
+// popularity, awareness and telemetry intact, reporting the recovery.
+func TestLiveDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := shuffledeck.LiveOptions{Shards: 2, Seed: 5, DataDir: dir}
+	live, err := shuffledeck.NewLive(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := live.Add(i, "live durable topic", float64(8-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := live.Add(99, "live durable gem", 0); err != nil {
+		t.Fatal(err)
+	}
+	live.Feedback([]shuffledeck.LiveEvent{{Page: 99, Slot: 3, Impressions: 1, Clicks: 5}})
+	live.Sync()
+	if h := live.Health(); !h.Durable || len(h.Shards) != 2 {
+		t.Fatalf("health = %+v, want a 2-shard durable corpus", h)
+	}
+	live.Close()
+
+	re, err := shuffledeck.NewLive(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if info := re.Recovery(); !info.Durable || info.Pages != 9 {
+		t.Fatalf("recovery = %+v, want 9 durable pages", info)
+	}
+	gem, ok := re.Page(99)
+	if !ok || !gem.Aware || gem.Popularity != 5 || gem.Clicks != 5 {
+		t.Fatalf("gem after restart = %+v ok=%v", gem, ok)
+	}
+	if top := re.Top(1); len(top) != 1 || top[0].ID != 0 {
+		t.Fatalf("Top(1) after restart = %+v", top)
+	}
+	res, err := re.Rank("live durable", 5)
+	if err != nil || len(res) != 5 {
+		t.Fatalf("query after restart: %d results, err %v", len(res), err)
+	}
+}

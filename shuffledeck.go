@@ -27,6 +27,7 @@ package shuffledeck
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/community"
@@ -379,6 +380,23 @@ type LiveOptions struct {
 	Arms []LiveArm
 	// Seed drives all service randomness.
 	Seed uint64
+	// DataDir enables durability: every shard mutation is written to a
+	// per-shard write-ahead log before it applies, periodic snapshots
+	// bound recovery time, and NewLive recovers the previous state from
+	// the directory at boot. Empty keeps the corpus in-memory only.
+	DataDir string
+	// SnapshotInterval is the per-shard snapshot cadence (0 = 30s
+	// default, negative disables periodic snapshots; Close always writes
+	// a final one). Ignored without DataDir.
+	SnapshotInterval time.Duration
+	// FsyncMode selects WAL durability: "batch" (default; one fsync per
+	// group-committed feedback batch), "always" or "none". Ignored
+	// without DataDir.
+	FsyncMode string
+	// KeepLog retains the full WAL history behind snapshots, enabling
+	// offline counterfactual replay over the complete event stream.
+	// Ignored without DataDir.
+	KeepLog bool
 }
 
 // LiveArm declares one experiment arm of a Live corpus.
@@ -421,12 +439,16 @@ type Live struct {
 // Close it when done.
 func NewLive(opts LiveOptions) (*Live, error) {
 	c, err := serve.NewCorpus(serve.Config{
-		Shards:  opts.Shards,
-		TopK:    opts.TopK,
-		PoolCap: opts.PoolCap,
-		Policy:  opts.Policy,
-		Arms:    opts.Arms,
-		Seed:    opts.Seed,
+		Shards:           opts.Shards,
+		TopK:             opts.TopK,
+		PoolCap:          opts.PoolCap,
+		Policy:           opts.Policy,
+		Arms:             opts.Arms,
+		Seed:             opts.Seed,
+		DataDir:          opts.DataDir,
+		SnapshotInterval: opts.SnapshotInterval,
+		FsyncMode:        opts.FsyncMode,
+		KeepLog:          opts.KeepLog,
 	})
 	if err != nil {
 		return nil, err
@@ -481,6 +503,20 @@ func (l *Live) Sync() { l.c.Sync() }
 // Stats aggregates corpus-wide accounting (O(pages); telemetry, not a
 // hot path).
 func (l *Live) Stats() LiveStats { return l.c.Stats() }
+
+// LiveRecovery summarizes what NewLive recovered from the data dir.
+type LiveRecovery = serve.RecoveryInfo
+
+// Recovery reports what NewLive recovered at boot (zero for an
+// in-memory corpus).
+func (l *Live) Recovery() LiveRecovery { return l.c.Recovery() }
+
+// LiveHealth is the corpus readiness and durability surface: per-shard
+// feedback-queue depth and WAL lag.
+type LiveHealth = serve.HealthReport
+
+// Health reports queue depths and WAL lag per shard, read lock-free.
+func (l *Live) Health() LiveHealth { return l.c.Health() }
 
 // Close drains and stops the shard apply loops. The corpus remains
 // readable afterwards.
