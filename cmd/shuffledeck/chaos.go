@@ -1,0 +1,65 @@
+// The chaos subcommand runs the adversarial/fault scenario suite from
+// internal/serve/loadgen against a live in-process service: click-fraud
+// laundering, a flash crowd against bounded queues, corpus add/delete
+// churn, and a mid-run disk-fault storm with crash recovery. Each
+// scenario prints its counters, rank-divergence report and gate
+// verdict; the command exits non-zero if any gate fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve/loadgen"
+)
+
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "run one scenario (default: all); one of "+strings.Join(loadgen.ScenarioNames(), ", "))
+	short := fs.Bool("short", false, "scaled-down runs (seconds per scenario)")
+	seed := fs.Uint64("seed", 1, "base random seed")
+	defenses := fs.Bool("defenses", true, "enable provenance/rate-limit defenses (off shows the attacks landing)")
+	verbose := fs.Bool("v", false, "log scenario progress")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shuffledeck chaos [-scenario NAME] [-short] [-seed N] [-defenses=false] [-v]\n\nscenarios: %s\n\n", strings.Join(loadgen.ScenarioNames(), ", "))
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	names := loadgen.ScenarioNames()
+	if *scenario != "" {
+		names = []string{*scenario}
+	}
+	opts := loadgen.ScenarioOptions{Short: *short, Seed: *seed, Defenses: *defenses}
+	if *verbose {
+		opts.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)
+		}
+	}
+	failed := 0
+	start := time.Now()
+	for _, name := range names {
+		t0 := time.Now()
+		r, err := loadgen.RunScenario(name, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.String())
+		fmt.Printf("[%s in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		if !r.Pass() {
+			failed++
+		}
+	}
+	if len(names) > 1 {
+		fmt.Printf("[chaos: %d/%d scenarios passed in %v]\n",
+			len(names)-failed, len(names), time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario(s) failed gates", failed)
+	}
+	return nil
+}

@@ -10,6 +10,8 @@
 //	shuffledeck replay        counterfactual policy evaluation over a recorded
 //	                          data dir: shuffledeck replay -wal DIR
 //	                          [-arm name=spec ...] [-json]
+//	shuffledeck chaos         adversarial/fault scenario suite: click fraud,
+//	                          flash crowd, churn, disk storm (see chaos -h)
 //
 // Flags:
 //
@@ -101,6 +103,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+	case "chaos":
+		if err := runChaos(args[1:]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -117,6 +124,8 @@ usage:
   shuffledeck demo                  rank a result list with/without promotion
   shuffledeck replay -wal DIR       counterfactual policy evaluation over a
                                     recorded data dir (see replay -h)
+  shuffledeck chaos                 adversarial/fault scenario suite against a
+                                    live in-process service (see chaos -h)
 
 flags:
 `)

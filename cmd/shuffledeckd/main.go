@@ -36,6 +36,14 @@
 //	             "shuffledeck replay" counterfactual evaluation
 //	-pprof       optional net/http/pprof listen address on a separate
 //	             listener (e.g. localhost:6060); empty disables it
+//	-read-header-timeout, -read-timeout, -write-timeout, -idle-timeout
+//	             per-phase HTTP server timeouts (defaults 5s/30s/30s/2m;
+//	             0 = unlimited) so slow or abandoned clients cannot pin
+//	             connections
+//	-rate-limit  per-client token-bucket rate limit in requests/sec on
+//	             /rank and /feedback, keyed by unit ID (fallback: remote
+//	             IP); 0 disables. -rate-burst sets the bucket burst
+//	             (0 = default). Over-limit requests get 429 + Retry-After
 //
 // The synthetic bootstrap spreads pages over a handful of topics with a
 // Zipf-shaped initial popularity, so the service is immediately
@@ -140,6 +148,13 @@ func main() {
 	snapInterval := flag.Duration("snapshot-interval", 0, "per-shard snapshot cadence (0 = 30s default, negative disables)")
 	keepLog := flag.Bool("keep-log", false, "retain full WAL history for offline counterfactual replay")
 	pprofAddr := flag.String("pprof", "", "net/http/pprof listen address on a separate listener (empty = disabled)")
+	to := defaultTimeouts()
+	flag.DurationVar(&to.readHeader, "read-header-timeout", to.readHeader, "time allowed to read a request's headers (0 = unlimited)")
+	flag.DurationVar(&to.read, "read-timeout", to.read, "time allowed to read a full request including the body (0 = unlimited)")
+	flag.DurationVar(&to.write, "write-timeout", to.write, "time allowed from end of headers to end of response (0 = unlimited)")
+	flag.DurationVar(&to.idle, "idle-timeout", to.idle, "keep-alive idle connection timeout (0 = unlimited)")
+	rateRPS := flag.Float64("rate-limit", 0, "per-client feedback+rank rate limit in requests/sec (0 = disabled)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-limit (0 = default)")
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
@@ -161,6 +176,12 @@ func main() {
 	}
 	if *fresh < 0 || *fresh > 1 {
 		fail("-fresh must be in [0,1], got %v", *fresh)
+	}
+	if to.read < 0 || to.readHeader < 0 || to.write < 0 || to.idle < 0 {
+		fail("HTTP timeouts must be >= 0 (0 = unlimited)")
+	}
+	if *rateRPS < 0 || *rateBurst < 0 {
+		fail("-rate-limit and -rate-burst must be >= 0")
 	}
 	pol := core.Policy{K: *k, R: *r}
 	switch *rule {
@@ -188,6 +209,8 @@ func main() {
 		SnapshotInterval: *snapInterval,
 		FsyncMode:        *fsyncMode,
 		KeepLog:          *keepLog,
+		RateLimitRPS:     *rateRPS,
+		RateLimitBurst:   *rateBurst,
 	}
 	if err := cfg.Validate(); err != nil {
 		fail("%v", err)
@@ -270,10 +293,32 @@ func main() {
 	if *dataDir != "" {
 		go build()
 	}
-	if err := runServer(ctx, ln, gate, ready); err != nil {
+	if err := runServer(ctx, ln, gate, ready, to); err != nil {
 		log.Fatalf("shuffledeckd: %v", err)
 	}
 	log.Printf("shuffledeckd: shut down")
+}
+
+// httpTimeouts bounds each phase of an HTTP exchange so a stalled or
+// malicious client (slowloris, abandoned keep-alives) cannot pin server
+// connections indefinitely. Zero means unlimited, matching net/http.
+type httpTimeouts struct {
+	readHeader time.Duration // start of request → headers complete
+	read       time.Duration // start of request → body fully read
+	write      time.Duration // end of headers → response written
+	idle       time.Duration // keep-alive connections between requests
+}
+
+// defaultTimeouts returns the daemon defaults. The write timeout must
+// leave room for a durable /feedback POST to ride out group commit
+// under load — it bounds the whole handler, not just the final write.
+func defaultTimeouts() httpTimeouts {
+	return httpTimeouts{
+		readHeader: 5 * time.Second,
+		read:       30 * time.Second,
+		write:      30 * time.Second,
+		idle:       2 * time.Minute,
+	}
 }
 
 // bootGate is the swap point between the boot placeholder handler and
@@ -322,8 +367,14 @@ func recoveringHandler(w http.ResponseWriter, r *http.Request) {
 // ready channel delivers the corpus once recovery finishes; shutdown
 // waits on it so a signal during recovery still closes cleanly. The
 // corpus remains readable afterwards.
-func runServer(ctx context.Context, ln net.Listener, h http.Handler, ready <-chan *serve.Corpus) error {
-	srv := &http.Server{Handler: h}
+func runServer(ctx context.Context, ln net.Listener, h http.Handler, ready <-chan *serve.Corpus, to httpTimeouts) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: to.readHeader,
+		ReadTimeout:       to.read,
+		WriteTimeout:      to.write,
+		IdleTimeout:       to.idle,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {

@@ -96,7 +96,7 @@ func TestGracefulShutdownFlushesFeedback(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- runServer(ctx, ln, serve.NewServer(corpus), readyNow(corpus)) }()
+	go func() { done <- runServer(ctx, ln, serve.NewServer(corpus), readyNow(corpus), defaultTimeouts()) }()
 	base := "http://" + ln.Addr().String()
 
 	// The server must be up: rank something.
@@ -247,7 +247,7 @@ func TestDurableDaemonRoundTrip(t *testing.T) {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
-		go func() { done <- runServer(ctx, ln, serve.NewServer(corpus), readyNow(corpus)) }()
+		go func() { done <- runServer(ctx, ln, serve.NewServer(corpus), readyNow(corpus), defaultTimeouts()) }()
 		drive("http://"+ln.Addr().String(), corpus)
 		cancel()
 		select {

@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"time"
 
 	"repro/internal/policy"
 	"repro/internal/serve"
@@ -62,7 +63,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: serve.NewServer(corpus)}
+	// Per-phase timeouts even in a demo: an http.Server without them
+	// lets one stalled client pin a connection forever.
+	srv := &http.Server{
+		Handler:           serve.NewServer(corpus),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)

@@ -1,0 +1,158 @@
+// Package faultfs is a pluggable file-fault injector for exercising the
+// durability layer against the failures real disks produce: write
+// errors, short (torn) writes, fsync failures, disk-full, and latency
+// spikes. The WAL and the store's snapshot writer route their file
+// writes and syncs through an optional *Injector; a nil injector is the
+// production configuration and costs nothing.
+//
+// An Injector is a plan, not a mock filesystem: callers arm it ("fail
+// the next N syncs", "the disk is full until cleared") and the injector
+// applies the plan to real *os.File operations — a torn write really
+// does land a prefix of the payload in the file, so recovery code is
+// exercised against genuine on-disk damage rather than simulated
+// errors. All methods are safe for concurrent use; chaos scenarios arm
+// and clear faults from outside the apply loops mid-run.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjectedWrite is the error returned by writes failed on plan (torn
+// or clean). Disk-full failures wrap syscall.ENOSPC instead, so callers
+// that special-case ENOSPC see the real thing.
+var ErrInjectedWrite = errors.New("faultfs: injected write error")
+
+// ErrInjectedSync is the error returned by fsyncs failed on plan.
+var ErrInjectedSync = errors.New("faultfs: injected fsync error")
+
+// Injector applies an armed fault plan to file writes and syncs. The
+// zero value injects nothing.
+type Injector struct {
+	mu sync.Mutex
+	// failWrites and failSyncs are how many upcoming operations fail
+	// (-1 = every one until cleared).
+	failWrites int
+	failSyncs  int
+	// torn makes failed writes land a prefix of the payload first — a
+	// torn write, the damage a power cut mid-write leaves.
+	torn bool
+	// diskFull fails every write with ENOSPC until cleared, without
+	// consuming the failWrites budget.
+	diskFull bool
+
+	latency atomic.Int64 // nanos added to every write and sync
+
+	writeFails atomic.Uint64
+	syncFails  atomic.Uint64
+}
+
+// FailWrites arms the next n writes to fail (n < 0: every write until
+// Clear). Combined with SetTornWrites, each failed write lands half its
+// payload first.
+func (in *Injector) FailWrites(n int) {
+	in.mu.Lock()
+	in.failWrites = n
+	in.mu.Unlock()
+}
+
+// FailSyncs arms the next n fsyncs to fail (n < 0: every sync until
+// Clear).
+func (in *Injector) FailSyncs(n int) {
+	in.mu.Lock()
+	in.failSyncs = n
+	in.mu.Unlock()
+}
+
+// SetTornWrites makes armed write failures land a prefix of the payload
+// before erroring, leaving a genuinely torn file tail.
+func (in *Injector) SetTornWrites(on bool) {
+	in.mu.Lock()
+	in.torn = on
+	in.mu.Unlock()
+}
+
+// SetDiskFull fails every write with a wrapped syscall.ENOSPC until
+// turned off.
+func (in *Injector) SetDiskFull(on bool) {
+	in.mu.Lock()
+	in.diskFull = on
+	in.mu.Unlock()
+}
+
+// SetLatency adds d to every write and sync — the latency-spike fault.
+func (in *Injector) SetLatency(d time.Duration) {
+	in.latency.Store(int64(d))
+}
+
+// Clear disarms every fault; the counters are retained.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	in.failWrites, in.failSyncs = 0, 0
+	in.torn, in.diskFull = false, false
+	in.mu.Unlock()
+	in.latency.Store(0)
+}
+
+// WriteFailures returns how many writes have been failed so far.
+func (in *Injector) WriteFailures() uint64 { return in.writeFails.Load() }
+
+// SyncFailures returns how many fsyncs have been failed so far.
+func (in *Injector) SyncFailures() uint64 { return in.syncFails.Load() }
+
+func (in *Injector) sleep() {
+	if d := in.latency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// Write writes p to f, applying the armed plan. A nil injector is not
+// usable here; callers guard with a nil check (the hot path stays a
+// plain f.Write).
+func (in *Injector) Write(f *os.File, p []byte) (int, error) {
+	in.sleep()
+	in.mu.Lock()
+	full := in.diskFull
+	fail := !full && in.failWrites != 0
+	torn := in.torn
+	if fail && in.failWrites > 0 {
+		in.failWrites--
+	}
+	in.mu.Unlock()
+	switch {
+	case full:
+		in.writeFails.Add(1)
+		return 0, fmt.Errorf("faultfs: injected disk full: %w", syscall.ENOSPC)
+	case fail:
+		in.writeFails.Add(1)
+		n := 0
+		if torn && len(p) > 1 {
+			// A real torn write: half the payload reaches the file.
+			n, _ = f.Write(p[:len(p)/2])
+		}
+		return n, ErrInjectedWrite
+	}
+	return f.Write(p)
+}
+
+// Sync fsyncs f, applying the armed plan.
+func (in *Injector) Sync(f *os.File) error {
+	in.sleep()
+	in.mu.Lock()
+	fail := in.failSyncs != 0
+	if fail && in.failSyncs > 0 {
+		in.failSyncs--
+	}
+	in.mu.Unlock()
+	if fail {
+		in.syncFails.Add(1)
+		return ErrInjectedSync
+	}
+	return f.Sync()
+}

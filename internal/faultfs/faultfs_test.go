@@ -1,0 +1,164 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func tempFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestFailWritesCountdown(t *testing.T) {
+	in := &Injector{}
+	f := tempFile(t)
+	in.FailWrites(2)
+	for i := 0; i < 2; i++ {
+		if _, err := in.Write(f, []byte("abcd")); !errors.Is(err, ErrInjectedWrite) {
+			t.Fatalf("write %d: err = %v, want ErrInjectedWrite", i, err)
+		}
+	}
+	n, err := in.Write(f, []byte("abcd"))
+	if err != nil || n != 4 {
+		t.Fatalf("post-budget write: n=%d err=%v", n, err)
+	}
+	if got := in.WriteFailures(); got != 2 {
+		t.Fatalf("WriteFailures = %d, want 2", got)
+	}
+	// The budget is spent and the plan disarmed; a clean write left the
+	// payload on disk.
+	if st, _ := f.Stat(); st.Size() != 4 {
+		t.Fatalf("file size = %d, want 4 (failed writes must land nothing)", st.Size())
+	}
+}
+
+func TestTornWriteLandsPrefix(t *testing.T) {
+	in := &Injector{}
+	f := tempFile(t)
+	in.FailWrites(1)
+	in.SetTornWrites(true)
+	if _, err := in.Write(f, []byte("abcdef")); !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("err = %v, want ErrInjectedWrite", err)
+	}
+	if st, _ := f.Stat(); st.Size() != 3 {
+		t.Fatalf("torn write landed %d bytes, want 3 (half the payload)", st.Size())
+	}
+}
+
+func TestDiskFullWrapsENOSPC(t *testing.T) {
+	in := &Injector{}
+	f := tempFile(t)
+	in.SetDiskFull(true)
+	for i := 0; i < 3; i++ {
+		if _, err := in.Write(f, []byte("x")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d: err = %v, want wrapped ENOSPC", i, err)
+		}
+	}
+	in.Clear()
+	if _, err := in.Write(f, []byte("x")); err != nil {
+		t.Fatalf("post-clear write: %v", err)
+	}
+	// Clear disarms the plan but keeps the tally.
+	if got := in.WriteFailures(); got != 3 {
+		t.Fatalf("WriteFailures = %d, want 3 after Clear", got)
+	}
+}
+
+func TestFailSyncsForever(t *testing.T) {
+	in := &Injector{}
+	f := tempFile(t)
+	in.FailSyncs(-1)
+	for i := 0; i < 3; i++ {
+		if err := in.Sync(f); !errors.Is(err, ErrInjectedSync) {
+			t.Fatalf("sync %d: err = %v, want ErrInjectedSync", i, err)
+		}
+	}
+	in.Clear()
+	if err := in.Sync(f); err != nil {
+		t.Fatalf("post-clear sync: %v", err)
+	}
+	if got := in.SyncFailures(); got != 3 {
+		t.Fatalf("SyncFailures = %d, want 3", got)
+	}
+}
+
+func TestLatencyAppliesToWriteAndSync(t *testing.T) {
+	in := &Injector{}
+	f := tempFile(t)
+	const d = 20 * time.Millisecond
+	in.SetLatency(d)
+	start := time.Now()
+	if _, err := in.Write(f, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Sync(f); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*d {
+		t.Fatalf("write+sync took %v, want >= %v", elapsed, 2*d)
+	}
+	in.Clear()
+	start = time.Now()
+	if _, err := in.Write(f, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= d {
+		t.Fatalf("cleared latency still sleeping: %v", elapsed)
+	}
+}
+
+// TestConcurrentArmAndWrite exercises the chaos-scenario pattern — one
+// goroutine re-arming faults while others write — under the race
+// detector.
+func TestConcurrentArmAndWrite(t *testing.T) {
+	in := &Injector{}
+	f := tempFile(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				in.FailWrites(1)
+			case 1:
+				in.SetDiskFull(true)
+			case 2:
+				in.FailSyncs(2)
+			case 3:
+				in.Clear()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				_, _ = in.Write(f, []byte("abcd"))
+				_ = in.Sync(f)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+}

@@ -3,11 +3,16 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/faultfs"
 )
 
 // benchCorpus builds a 10k-page corpus over 8 shards: 2% zero-awareness,
@@ -259,6 +264,107 @@ func BenchmarkServeRankDurable(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServeRankOverload measures the /rank hot path while the
+// ingestion side is saturated: a 2ms injected latency on every WAL
+// write plus single-batch shard queues keeps the apply loops pinned and
+// admission control shedding flooder batches with ErrOverloaded the
+// whole run. Rank reads lock-free snapshots and must stay at the
+// uncontended durable corpus's cost — this bench gates the isolation
+// claim behind graceful degradation.
+func BenchmarkServeRankOverload(b *testing.B) {
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	inject := &faultfs.Injector{}
+	c, err := NewCorpus(Config{
+		Shards: 8, Seed: 1, DataDir: b.TempDir(),
+		FsyncMode: "none", QueueLen: 1, FaultInjector: inject,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < n; i++ {
+		pop := 0.0
+		if i%50 != 0 {
+			pop = float64(n) / float64(i+1)
+		}
+		if err := c.Add(i, fmt.Sprintf("bench topic page%d", i), pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.Sync()
+	// Arm the latency only after the build so setup stays fast, and
+	// clear it before Close so the final queue drain does too.
+	inject.SetLatency(2 * time.Millisecond)
+	defer inject.Clear()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var shed atomic.Uint64
+	// Flooders must be stopped before b.Cleanup closes the corpus.
+	defer func() {
+		close(stop)
+		wg.Wait()
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One batch spanning every shard: the all-or-nothing
+			// admission across target shards is what real multi-page
+			// feedback POSTs contend on.
+			ev := make([]Event, 16)
+			for i := range ev {
+				ev[i] = Event{Page: i % n, Slot: 1 + i%10, Impressions: 1}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := c.TryFeedback(ev); err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						b.Error(err)
+						return
+					}
+					shed.Add(1)
+					time.Sleep(200 * time.Microsecond) // client backoff
+				}
+			}
+		}()
+	}
+	warmRank(b, c, "")
+	// Don't start the clock until admission control is actually
+	// shedding — at -benchtime=100x the whole measured run is shorter
+	// than one injected write, so an unsaturated start would measure an
+	// idle corpus.
+	for deadline := time.Now().Add(5 * time.Second); shed.Load() == 0; {
+		if time.Now().After(deadline) {
+			b.Fatal("overload never engaged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			res, err := c.Rank("", 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res) != 10 {
+				b.Fatalf("served %d results", len(res))
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "qps")
+	}
+	b.ReportMetric(float64(shed.Load()), "shed")
 }
 
 // BenchmarkServeFeedbackDurable measures the durable ingestion path end

@@ -70,6 +70,21 @@ func (qc *queryCache) get(key cacheKey, m int, idxEpoch, srvEpoch uint64) *query
 	return e
 }
 
+// getStale returns the entry for the key if its deterministic prefix is
+// long enough for m results, IGNORING the epoch checks — the degraded
+// (overload) mode serves the last built candidate assembly rather than
+// paying a rebuild, trading staleness for latency. Callers gate this on
+// the corpus being in degraded mode.
+func (qc *queryCache) getStale(key cacheKey, m int) *queryCacheEntry {
+	qc.mu.RLock()
+	e := qc.m[key]
+	qc.mu.RUnlock()
+	if e == nil || (m > e.n && !e.full) {
+		return nil
+	}
+	return e
+}
+
 // put stores (or replaces) the entry for the key.
 func (qc *queryCache) put(key cacheKey, e *queryCacheEntry) {
 	qc.mu.Lock()

@@ -143,6 +143,8 @@ func (sh *shard) recoverFromStore(idx int) (ShardRecovery, error) {
 			sh.liveAdd(r.add)
 		case recKindEvent:
 			sh.liveEvent(r.event, r.nanos)
+		case recKindRemove:
+			sh.applyRemove(r.remove)
 		}
 		sh.appliedLSN.Store(lsn)
 		sh.walLag.Add(int64(len(payload)))
@@ -329,6 +331,12 @@ type ShardHealth struct {
 	// means the shard cannot persist and recovery times are climbing.
 	SnapshotFailures  uint64 `json:"snapshot_failures,omitempty"`
 	LastSnapshotError string `json:"last_snapshot_error,omitempty"`
+	// WALFailures counts failed WAL commits; LastWALError is the most
+	// recent failure's message, cleared on the next successful commit.
+	// While LastWALError is set the shard cannot make feedback durable:
+	// every batch is being nacked, and the corpus reports unhealthy.
+	WALFailures  uint64 `json:"wal_failures,omitempty"`
+	LastWALError string `json:"last_wal_error,omitempty"`
 }
 
 // HealthReport is the corpus readiness surface behind GET /healthz.
@@ -341,6 +349,13 @@ type HealthReport struct {
 	Durable bool `json:"durable"`
 	// FsyncMode is the WAL durability mode in effect ("" in-memory).
 	FsyncMode string `json:"fsync_mode,omitempty"`
+	// Degraded reports overload mode: the corpus is shedding cold-query
+	// rebuilds and serving last-epoch candidates (stale-but-fast). Still
+	// a 200 at /healthz — degraded is a serving mode, not an outage.
+	Degraded bool `json:"degraded"`
+	// WALFailing reports that at least one shard's last WAL commit
+	// failed: feedback to it is being nacked, /healthz returns 503.
+	WALFailing bool `json:"wal_failing"`
 	// WALLagBytes totals the per-shard lag.
 	WALLagBytes int64         `json:"wal_lag_bytes"`
 	Shards      []ShardHealth `json:"shards"`
@@ -348,7 +363,7 @@ type HealthReport struct {
 
 // Health reports queue depths and WAL lag per shard, read lock-free.
 func (c *Corpus) Health() HealthReport {
-	h := HealthReport{Ready: true, Durable: c.durable}
+	h := HealthReport{Ready: true, Durable: c.durable, Degraded: c.Degraded()}
 	if c.durable {
 		// Validate already vetted the mode string; round-tripping through
 		// the wal package keeps the default mapping in one place.
@@ -363,9 +378,14 @@ func (c *Corpus) Health() HealthReport {
 			SnapshotLSN:      sh.snapLSN.Load(),
 			AppliedLSN:       sh.appliedLSN.Load(),
 			SnapshotFailures: sh.snapFailures.Load(),
+			WALFailures:      sh.walFailures.Load(),
 		}
 		if msg := sh.snapErr.Load(); msg != nil {
 			row.LastSnapshotError = *msg
+		}
+		if msg := sh.walErr.Load(); msg != nil {
+			row.LastWALError = *msg
+			h.WALFailing = true
 		}
 		h.WALLagBytes += row.WALLagBytes
 		h.Shards = append(h.Shards, row)

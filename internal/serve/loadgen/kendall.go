@@ -1,0 +1,158 @@
+// Rank-divergence measurement between experiment arms. The chaos
+// scenarios need a scale-free answer to "how differently are the two
+// arms ranking right now?": Kendall's tau over the two result lists,
+// plus a per-slot breakdown (how often slot i disagrees, and how far
+// the occupant moved). Divergence is the experiment working as designed
+// — a promotion arm SHOULD disagree with the deterministic arm in its
+// promotion slots — so the scenarios report it rather than gate on it,
+// and gate instead on counters (shed, 429, recovery) that have a right
+// answer.
+package loadgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KendallTau computes Kendall's tau-a between two orderings of ids.
+// The comparison runs over the union: an id missing from a list ranks
+// behind everything present (tied at position len), the natural reading
+// for truncated result lists. Returns 1 for identical orderings, -1 for
+// exact reversal, 0 for unrelated; two empty lists are identical.
+func KendallTau(a, b []int) float64 {
+	posA := make(map[int]int, len(a))
+	for i, id := range a {
+		posA[id] = i
+	}
+	posB := make(map[int]int, len(b))
+	for i, id := range b {
+		posB[id] = i
+	}
+	union := make([]int, 0, len(posA)+len(posB))
+	for _, id := range a {
+		union = append(union, id)
+	}
+	for _, id := range b {
+		if _, seen := posA[id]; !seen {
+			union = append(union, id)
+		}
+	}
+	n := len(union)
+	if n < 2 {
+		return 1
+	}
+	rank := func(pos map[int]int, id int) int {
+		if p, ok := pos[id]; ok {
+			return p
+		}
+		return len(pos) // absent: tied behind the whole list
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := rank(posA, union[i]) - rank(posA, union[j])
+			db := rank(posB, union[i]) - rank(posB, union[j])
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+				// Ties (da or db zero — both ids absent from one list)
+				// count neither way under tau-a.
+			}
+		}
+	}
+	return float64(concordant-discordant) / float64(n*(n-1)/2)
+}
+
+// SlotDivergence is one presented position's disagreement between two
+// arms, aggregated over probe pairs.
+type SlotDivergence struct {
+	Slot int // 1-based presented position
+	// DisagreeFrac is the fraction of probes where the two arms put
+	// different pages at this slot.
+	DisagreeFrac float64
+	// MeanDisplacement is the mean |position delta| of arm A's slot
+	// occupant in arm B's list, over probes where both lists held it
+	// (an id absent from B counts as displaced to the end of B).
+	MeanDisplacement float64
+}
+
+// DivergenceReport aggregates rank divergence between two arms over a
+// set of probe pairs.
+type DivergenceReport struct {
+	ArmA, ArmB string
+	Probes     int
+	// MeanTau is the average Kendall tau-a across probes: 1 = the arms
+	// always agree, lower = more reordering.
+	MeanTau float64
+	Slots   []SlotDivergence
+}
+
+// String renders the report compactly.
+func (d *DivergenceReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank divergence %s vs %s over %d probes: mean tau %.3f",
+		d.ArmA, d.ArmB, d.Probes, d.MeanTau)
+	for _, s := range d.Slots {
+		if s.DisagreeFrac > 0 {
+			fmt.Fprintf(&b, "\n  slot %2d: disagree %.0f%%, mean displacement %.1f",
+				s.Slot, 100*s.DisagreeFrac, s.MeanDisplacement)
+		}
+	}
+	return b.String()
+}
+
+// Divergence aggregates probe pairs (as, bs — parallel slices of result
+// id lists from the two arms) into a DivergenceReport. Slots are
+// reported up to the longest A-list seen.
+func Divergence(armA, armB string, as, bs [][]int) *DivergenceReport {
+	d := &DivergenceReport{ArmA: armA, ArmB: armB, Probes: len(as)}
+	if len(as) == 0 || len(as) != len(bs) {
+		return d
+	}
+	maxSlots := 0
+	for _, a := range as {
+		if len(a) > maxSlots {
+			maxSlots = len(a)
+		}
+	}
+	disagree := make([]int, maxSlots)
+	dispSum := make([]float64, maxSlots)
+	seen := make([]int, maxSlots)
+	for p := range as {
+		a, b := as[p], bs[p]
+		d.MeanTau += KendallTau(a, b)
+		posB := make(map[int]int, len(b))
+		for i, id := range b {
+			posB[id] = i
+		}
+		for i, id := range a {
+			seen[i]++
+			bi, ok := posB[id]
+			if !ok {
+				bi = len(b) // absent: displaced past the end
+			}
+			if i >= len(b) || b[i] != id {
+				disagree[i]++
+			}
+			delta := bi - i
+			if delta < 0 {
+				delta = -delta
+			}
+			dispSum[i] += float64(delta)
+		}
+	}
+	d.MeanTau /= float64(d.Probes)
+	for i := 0; i < maxSlots; i++ {
+		if seen[i] == 0 {
+			continue
+		}
+		d.Slots = append(d.Slots, SlotDivergence{
+			Slot:             i + 1,
+			DisagreeFrac:     float64(disagree[i]) / float64(seen[i]),
+			MeanDisplacement: dispSum[i] / float64(seen[i]),
+		})
+	}
+	return d
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -65,6 +66,18 @@ type Config struct {
 	// FeedbackBatch is how many events a worker accumulates before
 	// flushing to /feedback (default 20; remainder flushes at the end).
 	FeedbackBatch int
+	// Retries is how many times a worker retries a request the service
+	// refused with 429/503 or that failed in transport, with jittered
+	// exponential backoff between attempts (default 3; negative
+	// disables retries). Retry counts and time spent backing off are
+	// reported separately from request latency.
+	Retries int
+	// RetryBackoff is the base backoff before the first retry; each
+	// further attempt doubles it, jittered ±50% (default 20ms). A
+	// Retry-After hint from the service is honored up to 16× this base,
+	// so an adversarial or misconfigured server cannot stall a load run
+	// for minutes.
+	RetryBackoff time.Duration
 	// Seed drives the simulated users' randomness.
 	Seed uint64
 }
@@ -88,6 +101,14 @@ func (c Config) withDefaults() Config {
 	if c.Units == 0 {
 		c.Units = 16
 	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -108,15 +129,19 @@ type PathReport struct {
 
 // Report is the outcome of a load run.
 type Report struct {
-	Requests      int           // rank requests completed
-	Errors        int           // rank or feedback requests that failed
-	FeedbackPosts int           // feedback batches flushed
-	Impressions   int64         // slot impressions reported
-	Clicks        int64         // clicks reported
-	Duration      time.Duration // wall clock of the whole run
-	QPS           float64       // completed rank requests per second
-	P50, P90, P99 time.Duration // rank request latency percentiles
-	Max           time.Duration
+	Requests       int           // rank requests completed
+	Errors         int           // rank or feedback requests that failed after retries
+	FeedbackPosts  int           // feedback batches acknowledged
+	Impressions    int64         // slot impressions reported
+	Clicks         int64         // clicks reported
+	Retries        int           // retry attempts across all requests
+	BackoffTime    time.Duration // total time spent sleeping between retries
+	Rejected429    int           // 429 responses received (overload / rate limit)
+	Unavailable503 int           // 503 responses received (durability failure)
+	Duration       time.Duration // wall clock of the whole run
+	QPS            float64       // completed rank requests per second
+	P50, P90, P99  time.Duration // rank request latency percentiles
+	Max            time.Duration
 	// Browse and Query split the latency measurements by request path
 	// when a mixed workload (Config.Queries) runs: Browse covers the
 	// id-ranking path (Config.Query, usually the whole corpus), Query
@@ -135,6 +160,10 @@ func (r *Report) String() string {
 		"requests %d (errors %d) in %v — %.0f QPS\nrank latency p50 %v  p90 %v  p99 %v  max %v",
 		r.Requests, r.Errors, r.Duration.Round(time.Millisecond), r.QPS,
 		r.P50, r.P90, r.P99, r.Max)
+	if r.Retries > 0 || r.Rejected429 > 0 || r.Unavailable503 > 0 {
+		s += fmt.Sprintf("\nretries %d (backoff %v), 429s %d, 503s %d",
+			r.Retries, r.BackoffTime.Round(time.Millisecond), r.Rejected429, r.Unavailable503)
+	}
 	if r.Query.Requests > 0 {
 		s += fmt.Sprintf(
 			"\nbrowse path (%d): p50 %v  p99 %v  max %v\nquery path  (%d): p50 %v  p99 %v  max %v",
@@ -214,6 +243,10 @@ func Run(cfg Config) (*Report, error) {
 		total.FeedbackPosts += w.report.FeedbackPosts
 		total.Impressions += w.report.Impressions
 		total.Clicks += w.report.Clicks
+		total.Retries += w.report.Retries
+		total.BackoffTime += w.report.BackoffTime
+		total.Rejected429 += w.report.Rejected429
+		total.Unavailable503 += w.report.Unavailable503
 		browse = append(browse, w.latencies...)
 		query = append(query, w.queryLats...)
 		for arm, lats := range w.armLats {
@@ -284,12 +317,60 @@ func (w *worker) run(requests int) {
 			continue
 		}
 		w.report.Requests++
-		w.observe(items, arm)
+		w.observe(items, arm, unit)
 		if len(w.pending) >= w.cfg.FeedbackBatch {
 			w.flush()
 		}
 	}
 	w.flush()
+}
+
+// post issues one POST with retries: a transport failure, 429 or 503 is
+// retried up to cfg.Retries times with jittered exponential backoff,
+// honoring (clamped) Retry-After hints. Backoff time is accounted
+// separately from request latency, which callers measure per attempt.
+// The returned response (when non-nil) has status 2xx and an open body
+// the caller must close.
+func (w *worker) post(path string, body []byte) (*http.Response, error) {
+	backoff := w.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := w.cfg.Client.Post(w.cfg.BaseURL+path, "application/json", bytes.NewReader(body))
+		retryAfter := time.Duration(0)
+		if err == nil {
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if resp.StatusCode == http.StatusTooManyRequests {
+					w.report.Rejected429++
+				} else {
+					w.report.Unavailable503++
+				}
+				if s := resp.Header.Get("Retry-After"); s != "" {
+					if secs, perr := strconv.Atoi(s); perr == nil {
+						retryAfter = time.Duration(secs) * time.Second
+					}
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				err = fmt.Errorf("loadgen: %s status %d", path, resp.StatusCode)
+			default:
+				return resp, nil
+			}
+		}
+		if attempt >= w.cfg.Retries {
+			return nil, err
+		}
+		// Jittered exponential backoff: ±50% around the doubling base.
+		// The service's Retry-After hint wins when longer, clamped to
+		// 16× the base so a stalled server cannot pin the run.
+		sleep := backoff/2 + time.Duration(w.rng.Float64()*float64(backoff))
+		if retryAfter > sleep {
+			sleep = min(retryAfter, 16*w.cfg.RetryBackoff)
+		}
+		w.report.Retries++
+		w.report.BackoffTime += sleep
+		time.Sleep(sleep)
+		backoff *= 2
+	}
 }
 
 func (w *worker) rank(query, unit string, isQuery bool) ([]serve.RankedItem, string, error) {
@@ -298,7 +379,8 @@ func (w *worker) rank(query, unit string, isQuery bool) ([]serve.RankedItem, str
 		return nil, "", err
 	}
 	start := time.Now()
-	resp, err := w.cfg.Client.Post(w.cfg.BaseURL+"/rank", "application/json", bytes.NewReader(body))
+	backoffBefore := w.report.BackoffTime
+	resp, err := w.post("/rank", body)
 	if err != nil {
 		return nil, "", err
 	}
@@ -312,8 +394,13 @@ func (w *worker) rank(query, unit string, isQuery bool) ([]serve.RankedItem, str
 		return nil, "", err
 	}
 	// Only successful, fully decoded requests contribute latency
-	// samples; Report.Requests counts exactly these.
-	lat := time.Since(start)
+	// samples; Report.Requests counts exactly these. Retry backoff is
+	// subtracted out — it is reported as BackoffTime, not smeared into
+	// the service's latency percentiles.
+	lat := time.Since(start) - (w.report.BackoffTime - backoffBefore)
+	if lat < 0 {
+		lat = 0
+	}
 	if isQuery {
 		w.queryLats = append(w.queryLats, lat)
 	} else {
@@ -326,14 +413,16 @@ func (w *worker) rank(query, unit string, isQuery bool) ([]serve.RankedItem, str
 // observe simulates one user on one result list: every served slot is an
 // impression; one attention-sampled position is visited and clicked with
 // probability equal to the page's quality. Events carry the serving arm
-// so the service's per-arm telemetry attributes correctly.
-func (w *worker) observe(items []serve.RankedItem, arm string) {
+// (for per-arm telemetry attribution) and the unit that saw the list
+// (the client identity the service's provenance and rate-limit defenses
+// key on).
+func (w *worker) observe(items []serve.RankedItem, arm, unit string) {
 	if len(items) == 0 {
 		return
 	}
 	visit := w.att.SampleRank(w.rng)
 	for _, it := range items {
-		e := serve.Event{Page: it.ID, Slot: it.Slot, Impressions: 1, Arm: arm}
+		e := serve.Event{Page: it.ID, Slot: it.Slot, Impressions: 1, Arm: arm, Unit: unit}
 		if it.Slot == visit && w.cfg.Quality != nil && w.rng.Bernoulli(w.cfg.Quality(it.ID)) {
 			e.Clicks = 1
 			w.report.Clicks++
@@ -353,11 +442,16 @@ func (w *worker) flush() {
 		w.report.Errors++
 		return
 	}
-	resp, err := w.cfg.Client.Post(w.cfg.BaseURL+"/feedback", "application/json", bytes.NewReader(body))
+	// post retries 429 (queue full, rate limited) and 503 (durability
+	// failure) with backoff: under a flash crowd the events eventually
+	// land — or the run honestly reports them as errors, never as
+	// silently dropped acks.
+	resp, err := w.post("/feedback", body)
 	if err != nil {
 		w.report.Errors++
 		return
 	}
+	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
 		w.report.Errors++

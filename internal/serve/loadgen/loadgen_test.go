@@ -1,14 +1,9 @@
 package loadgen
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
-	"io"
-	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
@@ -294,54 +289,6 @@ func TestMixedQueryWorkload(t *testing.T) {
 	}
 }
 
-// ackRecorder wraps the service handler and records, per page, the
-// feedback totals of every batch the service ACKNOWLEDGED with 202 —
-// the client-visible durability promise the kill test holds recovery
-// to.
-type ackRecorder struct {
-	inner http.Handler
-	mu    sync.Mutex
-	imps  map[int]int64
-	clks  map[int]int64
-}
-
-func newAckRecorder(inner http.Handler) *ackRecorder {
-	return &ackRecorder{inner: inner, imps: map[int]int64{}, clks: map[int]int64{}}
-}
-
-func (a *ackRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost || r.URL.Path != "/feedback" {
-		a.inner.ServeHTTP(w, r)
-		return
-	}
-	body, err := io.ReadAll(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	r.Body = io.NopCloser(bytes.NewReader(body))
-	rec := httptest.NewRecorder()
-	a.inner.ServeHTTP(rec, r)
-	if rec.Code == http.StatusAccepted {
-		var req serve.FeedbackRequest
-		if err := json.Unmarshal(body, &req); err == nil {
-			a.mu.Lock()
-			for _, e := range req.Events {
-				a.imps[e.Page] += int64(e.Impressions)
-				a.clks[e.Page] += int64(e.Clicks)
-			}
-			a.mu.Unlock()
-		}
-	}
-	for k, vs := range rec.Header() {
-		for _, v := range vs {
-			w.Header().Add(k, v)
-		}
-	}
-	w.WriteHeader(rec.Code)
-	_, _ = w.Write(rec.Body.Bytes())
-}
-
 // TestKillAfterRestartLosesNoAcknowledgedFeedback is the loadgen crash
 // scenario: simulated users drive a durable two-arm service, the
 // process "dies" mid-run (listener closed, corpus killed with no final
@@ -375,7 +322,7 @@ func TestKillAfterRestartLosesNoAcknowledgedFeedback(t *testing.T) {
 	}
 	c.Sync()
 
-	recorder := newAckRecorder(serve.NewServer(c))
+	recorder := NewAckRecorder(serve.NewServer(c))
 	srv := httptest.NewServer(recorder)
 
 	// Drive load in the background and kill the service mid-run: the
@@ -390,6 +337,7 @@ func TestKillAfterRestartLosesNoAcknowledgedFeedback(t *testing.T) {
 			N:             15,
 			Seed:          7,
 			FeedbackBatch: 5,
+			Retries:       -1, // a crashed server must fail fast, not be retried for seconds
 			Quality:       func(id int) float64 { return 0.3 },
 		})
 		if err != nil {

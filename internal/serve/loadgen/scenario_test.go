@@ -1,0 +1,162 @@
+package loadgen
+
+import (
+	"testing"
+)
+
+func scenarioOpts(t *testing.T, defenses bool) ScenarioOptions {
+	return ScenarioOptions{
+		Short:    testing.Short(),
+		Seed:     1,
+		Defenses: defenses,
+		Log:      t.Logf,
+	}
+}
+
+// TestKendallTau pins the divergence metric's extremes and its handling
+// of truncated lists.
+func TestKendallTau(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []int
+		want float64
+	}{
+		{"identical", []int{1, 2, 3, 4}, []int{1, 2, 3, 4}, 1},
+		{"reversed", []int{1, 2, 3, 4}, []int{4, 3, 2, 1}, -1},
+		{"empty", nil, nil, 1},
+		{"single", []int{7}, []int{7}, 1},
+	}
+	for _, c := range cases {
+		if got := KendallTau(c.a, c.b); got != c.want {
+			t.Errorf("%s: tau = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// One adjacent swap in 4 elements: 5 concordant, 1 discordant of 6
+	// pairs.
+	if got := KendallTau([]int{1, 2, 3, 4}, []int{1, 3, 2, 4}); got != 4.0/6.0 {
+		t.Errorf("adjacent swap tau = %v, want %v", got, 4.0/6.0)
+	}
+	// A truncated list agrees with its own prefix and ranks the missing
+	// ids behind: still positive, below 1... unless the shared prefix
+	// dominates.
+	if got := KendallTau([]int{1, 2, 3, 4}, []int{1, 2}); got <= 0 {
+		t.Errorf("prefix tau = %v, want > 0", got)
+	}
+}
+
+func TestDivergenceSlots(t *testing.T) {
+	as := [][]int{{1, 2, 3}, {1, 2, 3}}
+	bs := [][]int{{1, 3, 2}, {1, 2, 3}}
+	d := Divergence("a", "b", as, bs)
+	if d.Probes != 2 || len(d.Slots) != 3 {
+		t.Fatalf("report shape: %+v", d)
+	}
+	if d.Slots[0].DisagreeFrac != 0 {
+		t.Errorf("slot 1 disagreed: %+v", d.Slots[0])
+	}
+	if d.Slots[1].DisagreeFrac != 0.5 || d.Slots[2].DisagreeFrac != 0.5 {
+		t.Errorf("slots 2/3 disagree fractions: %+v", d.Slots)
+	}
+	if d.MeanTau >= 1 || d.MeanTau <= 0 {
+		t.Errorf("mean tau %v out of (0,1)", d.MeanTau)
+	}
+}
+
+// TestClickFraudScenarioDefended is the ISSUE's acceptance gate: with
+// provenance defenses on, the fraud campaign cannot launder the junk
+// page (discovery count 0) and honest discoveries stay within 10% of
+// the no-attack baseline.
+func TestClickFraudScenarioDefended(t *testing.T) {
+	r, err := RunScenario("click-fraud", scenarioOpts(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.String())
+	if !r.Pass() {
+		t.Fatalf("gates failed: %v", r.Failures)
+	}
+	if r.JunkDiscovered || r.JunkClicks != 0 {
+		t.Fatalf("junk page laundered: discovered=%v clicks=%d", r.JunkDiscovered, r.JunkClicks)
+	}
+	if 10*r.HonestDiscoveries < 9*r.BaselineDiscoveries {
+		t.Fatalf("honest discoveries %d below 90%% of baseline %d", r.HonestDiscoveries, r.BaselineDiscoveries)
+	}
+	if r.ProvenanceHeld == 0 {
+		t.Fatal("defenses never held a click — attack not exercised")
+	}
+}
+
+// TestClickFraudScenarioUndefended shows the attack is real: without
+// the provenance checks the junk page's first fraud click promotes it
+// into the deterministic ranking.
+func TestClickFraudScenarioUndefended(t *testing.T) {
+	r, err := RunScenario("click-fraud", scenarioOpts(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.String())
+	if !r.Pass() {
+		t.Fatalf("gates failed: %v", r.Failures)
+	}
+	if !r.JunkDiscovered {
+		t.Fatal("undefended attack failed to launder the junk page")
+	}
+}
+
+// TestFlashCrowdScenario: bounded queues shed load with 429s, rank
+// keeps serving, and the acked-vs-applied ledger balances exactly.
+func TestFlashCrowdScenario(t *testing.T) {
+	r, err := RunScenario("flash-crowd", scenarioOpts(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.String())
+	if !r.Pass() {
+		t.Fatalf("gates failed: %v", r.Failures)
+	}
+	if r.FeedbackRejected == 0 && r.Load.Rejected429 == 0 {
+		t.Fatal("admission control never engaged")
+	}
+	if int64(r.AppliedImpressions) != r.AckedImpressions || int64(r.AppliedClicks) != r.AckedClicks {
+		t.Fatalf("ledger imbalance: applied %d/%d, acked %d/%d",
+			r.AppliedImpressions, r.AppliedClicks, r.AckedImpressions, r.AckedClicks)
+	}
+}
+
+// TestChurnScenario: add/remove churn against the delta overlay under
+// live traffic; removed pages stay gone and the page count balances.
+func TestChurnScenario(t *testing.T) {
+	r, err := RunScenario("churn", scenarioOpts(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.String())
+	if !r.Pass() {
+		t.Fatalf("gates failed: %v", r.Failures)
+	}
+	if r.RemovedResurrected != 0 {
+		t.Fatalf("%d removed pages resurrected", r.RemovedResurrected)
+	}
+}
+
+// TestDiskStormScenario: a mid-run fsync/disk-full storm plus a crash;
+// every acknowledged event survives recovery.
+func TestDiskStormScenario(t *testing.T) {
+	r, err := RunScenario("disk-storm", scenarioOpts(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.String())
+	if !r.Pass() {
+		t.Fatalf("gates failed: %v", r.Failures)
+	}
+	if !r.RecoveredExactly {
+		t.Fatal("recovery lost acknowledged feedback")
+	}
+}
+
+func TestRunScenarioUnknownName(t *testing.T) {
+	if _, err := RunScenario("no-such-scenario", ScenarioOptions{}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -16,16 +16,18 @@ import (
 )
 
 const (
-	recKindAdd   = 1
-	recKindEvent = 2
+	recKindAdd    = 1
+	recKindEvent  = 2
+	recKindRemove = 3
 )
 
 // walRecord is one decoded WAL frame.
 type walRecord struct {
-	kind  byte
-	nanos int64
-	add   AddRecord // kind == recKindAdd
-	event Event     // kind == recKindEvent
+	kind   byte
+	nanos  int64
+	add    AddRecord // kind == recKindAdd
+	event  Event     // kind == recKindEvent
+	remove int       // kind == recKindRemove: the deleted page id
 }
 
 // appendAddRecord encodes a page addition stamped at nanos.
@@ -39,7 +41,18 @@ func appendAddRecord(dst []byte, a AddRecord, nanos int64) []byte {
 	return append(dst, a.Text...)
 }
 
-// appendEventRecord encodes a feedback event stamped at nanos.
+// appendRemoveRecord encodes a page removal stamped at nanos.
+func appendRemoveRecord(dst []byte, id int, nanos int64) []byte {
+	dst = append(dst, recKindRemove)
+	dst = binary.AppendVarint(dst, nanos)
+	return binary.AppendVarint(dst, int64(id))
+}
+
+// appendEventRecord encodes a feedback event stamped at nanos. The
+// event's Unit is deliberately NOT encoded: it is admission-control
+// metadata (provenance, rate limiting) consumed before logging, so the
+// record format — and therefore recovery and offline replay — is
+// unchanged by the defenses.
 func appendEventRecord(dst []byte, e Event, nanos int64) []byte {
 	dst = append(dst, recKindEvent)
 	dst = binary.AppendVarint(dst, nanos)
@@ -79,6 +92,8 @@ func decodeWALRecord(p []byte) (walRecord, error) {
 			Clicks:      int(d.Varint()),
 			Arm:         d.String(),
 		}
+	case recKindRemove:
+		rec.remove = int(d.Varint())
 	default:
 		return walRecord{}, fmt.Errorf("serve: unknown WAL record kind %d", rec.kind)
 	}

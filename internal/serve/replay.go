@@ -240,6 +240,8 @@ func Replay(dataDir string, overrides map[string]string) (*ReplayReport, error) 
 			state.applyAdd(cur.rec.add)
 		case recKindEvent:
 			scoreEvent(state, arms, cur.rec.event, cur.rec.nanos, &pages, &zeroAware)
+		case recKindRemove:
+			state.applyRemove(cur.rec.remove)
 		}
 		ok, err := cur.advance()
 		if err != nil {

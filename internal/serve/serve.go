@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/policy"
 	"repro/internal/randutil"
 	"repro/internal/rankengine"
@@ -138,6 +139,28 @@ type Config struct {
 	// can exercise multi-segment truncation without megabytes of
 	// traffic; 0 selects the wal package default.
 	walSegmentBytes int64
+	// RateLimitRPS enables per-client token-bucket rate limiting on the
+	// HTTP front end at this many requests per second per client (the
+	// experiment unit when the request carries one, else the remote IP).
+	// 0 disables rate limiting.
+	RateLimitRPS float64
+	// RateLimitBurst is the token-bucket burst size (default 1 when
+	// rate limiting is enabled).
+	RateLimitBurst int
+	// Provenance configures click-provenance defenses on the feedback
+	// admission path (see ProvenanceConfig). The zero value disables
+	// them.
+	Provenance ProvenanceConfig
+	// DegradedHold is how long the corpus stays in degraded
+	// (stale-serving, rebuild-shedding) mode after an overload signal
+	// (default DefaultDegradedHold; negative disables degraded mode).
+	DegradedHold time.Duration
+	// FaultInjector, when non-nil, routes the WAL's and the snapshot
+	// writer's file writes and fsyncs through the fault injector — the
+	// hook chaos scenarios and fault tests use to force short writes,
+	// fsync errors, disk-full and latency spikes. Ignored without
+	// DataDir.
+	FaultInjector *faultfs.Injector
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -199,6 +222,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.DegradedHold == 0 {
+		c.DegradedHold = DefaultDegradedHold
+	}
 	return c
 }
 
@@ -219,6 +245,12 @@ type Event struct {
 	// still apply to popularity and awareness; they just credit no arm's
 	// telemetry.
 	Arm string `json:"arm,omitempty"`
+	// Unit identifies the client (user or session) the feedback came
+	// from. It is admission-control metadata — click provenance and
+	// rate limiting key on it — consumed before the event is logged; it
+	// is never persisted, so the WAL format is independent of the
+	// defenses.
+	Unit string `json:"unit,omitempty"`
 }
 
 // Stat is a page's current serving state. Values handed out are immutable
@@ -269,13 +301,33 @@ type Stats struct {
 	// Arms is each experiment arm's accounting, in declaration order (a
 	// single implicit arm when Config.Arms was empty).
 	Arms []ArmReport
+	// Overload & defense accounting: FeedbackRejected counts batches
+	// refused with ErrOverloaded, StaleServed counts rank requests
+	// served from a stale cache entry while degraded, ShedRebuilds
+	// counts the cold rebuilds those requests skipped, ProvenanceHeld
+	// and ProvenanceCapped count clicks stripped by the provenance
+	// checks, and WALFailures counts failed (nacked) WAL commits.
+	// Degraded reports the current degraded-mode state.
+	FeedbackRejected uint64
+	StaleServed      uint64
+	ShedRebuilds     uint64
+	ProvenanceHeld   uint64
+	ProvenanceCapped uint64
+	WALFailures      uint64
+	Degraded         bool
 }
 
-// applyReq is one message to a shard's apply loop.
+// applyReq is one message to a shard's apply loop. done, when non-nil,
+// carries the batch's acknowledgement: the apply loop sends the WAL
+// commit error (nack) or simply closes the channel (ack) after
+// everything earlier was applied and published. Channels are buffered
+// so a nack never blocks the loop.
 type applyReq struct {
-	add    []AddRecord
-	events []Event
-	done   chan struct{} // non-nil: close after everything earlier applied
+	add      []AddRecord
+	events   []Event
+	remove   []int
+	credited bool // holds one admission credit, released at drain
+	done     chan error
 }
 
 // snapshot is a shard's immutable published view.
@@ -293,6 +345,11 @@ type shard struct {
 
 	cfg Config
 	ch  chan applyReq
+
+	// credits counts admission-controlled batches admitted but not yet
+	// drained; TryFeedback refuses (429) once it reaches cap(ch), so
+	// the queue is truly bounded for admission-controlled traffic.
+	credits atomic.Int64
 
 	// arms resolves feedback attribution; armOrder is the declaration
 	// order; tallies holds this shard's per-arm telemetry contributions
@@ -319,6 +376,13 @@ type shard struct {
 	killed *atomic.Bool // corpus-wide crash-simulation flag
 	encBuf []byte       // record encode scratch
 	reqBuf []applyReq   // group-commit drain scratch
+	// pending retains additions and removals from a batch whose WAL
+	// commit failed: their index-side effects already happened (the
+	// document is in/out of the search index), so they must eventually
+	// reach shard state; they are re-logged ahead of the next batch.
+	// Nacked EVENTS are not retained — the client was told (5xx) and
+	// owns the retry.
+	pending []applyReq
 	// appliedLSN, snapLSN, walLag and the snapshot-failure telemetry are
 	// written by the apply loop and read lock-free by Health.
 	appliedLSN   atomic.Uint64
@@ -326,7 +390,12 @@ type shard struct {
 	walLag       atomic.Int64
 	snapFailures atomic.Uint64
 	snapErr      atomic.Pointer[string]
-	lastSnap     time.Time // apply-loop only
+	// walFailures counts failed (nacked) WAL commits; walErr holds the
+	// most recent commit error, cleared by the next success — the
+	// sticky unhealthy signal /healthz surfaces.
+	walFailures atomic.Uint64
+	walErr      atomic.Pointer[string]
+	lastSnap    time.Time // apply-loop only
 }
 
 // Corpus is the live sharded corpus behind the service. All methods are
@@ -359,6 +428,11 @@ type Corpus struct {
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
 
+	// over tracks degraded mode; prov applies the click-provenance
+	// checks (nil when disabled).
+	over overloadState
+	prov *provenanceGuard
+
 	reqSeq  atomic.Uint64
 	scratch sync.Pool // *reqScratch
 }
@@ -390,6 +464,9 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	if cfg.QueryCacheSize > 0 {
 		c.qcache = newQueryCache(cfg.QueryCacheSize)
 	}
+	if cfg.Provenance.enabled() {
+		c.prov = newProvenanceGuard(cfg.Provenance)
+	}
 	c.scratch.New = func() any {
 		return &reqScratch{
 			rng:   randutil.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * (1 + c.reqSeq.Add(1)))),
@@ -398,7 +475,7 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	}
 	if c.durable {
 		fsync, _ := wal.ParseFsyncMode(cfg.FsyncMode) // Validate already vetted it
-		st, err := store.Open(cfg.DataDir, storeMeta(cfg), wal.Options{Fsync: fsync, SegmentBytes: cfg.walSegmentBytes})
+		st, err := store.Open(cfg.DataDir, storeMeta(cfg), wal.Options{Fsync: fsync, SegmentBytes: cfg.walSegmentBytes, Inject: cfg.FaultInjector})
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
@@ -487,50 +564,114 @@ func (c *Corpus) Add(id int, text string, popularity float64) error {
 // Feedback partitions the events by shard and enqueues them on the
 // single-writer apply loops. In-memory it blocks only when a shard queue
 // is full (backpressure); on a durable corpus it returns only after
-// every event has been group-committed to the WAL and applied, so a
-// Feedback that returned — an acknowledgement, e.g. the HTTP 202 — is a
-// promise the events survive a crash. Events for unknown pages are
-// counted and dropped at apply time.
-func (c *Corpus) Feedback(events []Event) {
-	if len(events) == 0 {
-		return
-	}
-	var acks []chan struct{}
-	ack := func() chan struct{} {
-		if !c.durable {
-			return nil
-		}
-		d := make(chan struct{})
-		acks = append(acks, d)
-		return d
-	}
-	if len(c.shards) == 1 {
-		batch := make([]Event, len(events))
-		copy(batch, events)
-		c.shards[0].ch <- applyReq{events: batch, done: ack()}
-	} else {
-		batches := make([][]Event, len(c.shards))
-		for _, e := range events {
-			si := int(uint(e.Page) % uint(len(c.shards)))
-			batches[si] = append(batches[si], e)
-		}
-		for si, b := range batches {
-			if len(b) > 0 {
-				c.shards[si].ch <- applyReq{events: b, done: ack()}
-			}
-		}
-	}
-	for _, d := range acks {
-		<-d
-	}
+// every event has been group-committed to the WAL and applied, so a nil
+// return — an acknowledgement, e.g. the HTTP 202 — is a promise the
+// events survive a crash. A non-nil error means the WAL commit failed
+// and the batch was NOT applied (never a silent ack); the shard stays
+// serving and reports unhealthy until a commit succeeds. On a
+// multi-shard corpus a failed batch may have applied on shards whose
+// commits succeeded, so retrying a failed batch is at-least-once.
+// Events for unknown pages are counted and dropped at apply time.
+func (c *Corpus) Feedback(events []Event) error {
+	return c.feedback(events, false)
 }
 
-// Sync blocks until every feedback event and addition enqueued before the
-// call has been applied and published.
+// TryFeedback is the admission-controlled Feedback: it reserves a queue
+// credit on every target shard before enqueuing anything, and returns
+// ErrOverloaded — with NOTHING enqueued — when any reservation fails.
+// The HTTP layer maps that to 429 + Retry-After; any other error is a
+// durability failure as in Feedback.
+func (c *Corpus) TryFeedback(events []Event) error {
+	return c.feedback(events, true)
+}
+
+func (c *Corpus) feedback(events []Event, admission bool) error {
+	if len(events) == 0 {
+		return nil
+	}
+	// Partition by shard, applying the provenance checks per event as
+	// the batches are built — admitted feedback only from here on.
+	batches := make([][]Event, len(c.shards))
+	for _, e := range events {
+		if c.prov != nil && e.Clicks > 0 {
+			_, aware := c.pageAware(e.Page)
+			e = c.prov.admit(e, aware)
+		}
+		si := int(uint(e.Page) % uint(len(c.shards)))
+		batches[si] = append(batches[si], e)
+	}
+	if admission {
+		// All-or-nothing credit reservation: either every target shard
+		// has queue room and the whole batch is enqueued, or nothing is
+		// and the client gets one 429 for the batch.
+		acquired := make([]*shard, 0, len(c.shards))
+		for si, b := range batches {
+			if len(b) == 0 {
+				continue
+			}
+			sh := c.shards[si]
+			if !sh.tryAcquire() {
+				for _, a := range acquired {
+					a.credits.Add(-1)
+				}
+				c.over.rejected.Add(1)
+				c.noteOverload()
+				return ErrOverloaded
+			}
+			acquired = append(acquired, sh)
+		}
+	}
+	var acks []chan error
+	for si, b := range batches {
+		if len(b) == 0 {
+			continue
+		}
+		req := applyReq{events: b, credited: admission}
+		if c.durable {
+			req.done = make(chan error, 1)
+			acks = append(acks, req.done)
+		}
+		c.shards[si].ch <- req
+	}
+	var err error
+	for _, d := range acks {
+		if e := <-d; e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// pageAware reports whether the page exists and has been promoted out
+// of the zero-awareness pool, read lock-free.
+func (c *Corpus) pageAware(id int) (exists, aware bool) {
+	if v, ok := c.shardFor(id).stats.Load(id); ok {
+		return true, v.(*Stat).Aware
+	}
+	return false, false
+}
+
+// Remove deletes a page: it is tombstoned in the search index
+// immediately (queries stop matching it at the next index snapshot) and
+// the shard-state removal is enqueued on its apply loop, logged like
+// every other mutation. Returns false when the page is not indexed.
+func (c *Corpus) Remove(id int) bool {
+	c.idxMu.Lock()
+	ok := c.idx.Delete(id)
+	c.idxMu.Unlock()
+	if !ok {
+		return false
+	}
+	c.shardFor(id).ch <- applyReq{remove: []int{id}}
+	return true
+}
+
+// Sync blocks until every feedback event, addition and removal enqueued
+// before the call has been applied and published.
 func (c *Corpus) Sync() {
-	done := make([]chan struct{}, len(c.shards))
+	done := make([]chan error, len(c.shards))
 	for i, sh := range c.shards {
-		done[i] = make(chan struct{})
+		done[i] = make(chan error, 1)
 		sh.ch <- applyReq{done: done[i]}
 	}
 	for _, d := range done {
@@ -592,12 +733,21 @@ func (c *Corpus) Stats() Stats {
 	if c.qcache != nil {
 		s.QueryCacheEntries = c.qcache.len()
 	}
+	s.FeedbackRejected = c.over.rejected.Load()
+	s.StaleServed = c.over.staleServed.Load()
+	s.ShedRebuilds = c.over.shedRebuilds.Load()
+	s.Degraded = c.Degraded()
+	if c.prov != nil {
+		s.ProvenanceHeld = c.prov.held.Load()
+		s.ProvenanceCapped = c.prov.capped.Load()
+	}
 	s.Epochs = make([]uint64, len(c.shards))
 	for i, sh := range c.shards {
 		s.Epochs[i] = sh.snap.Load().epoch
 		s.ImpressionsApplied += sh.impressions.Load()
 		s.ClicksApplied += sh.clicks.Load()
 		s.Dropped += sh.dropped.Load()
+		s.WALFailures += sh.walFailures.Load()
 		sh.stats.Range(func(_, v any) bool {
 			st := v.(*Stat)
 			s.Pages++
@@ -964,6 +1114,19 @@ func (c *Corpus) queryCandidates(arm *armState, r float64, query string, n int, 
 			return det, pool
 		}
 		c.cacheMisses.Add(1)
+		if c.Degraded() {
+			// Overload: shed the cold rebuild and serve the last built
+			// candidate assembly for this query, stale epochs and all —
+			// stale-but-fast, surfaced in /stats and /healthz. The
+			// promotion draw stays per-request, identical to a cache hit.
+			if e := c.qcache.getStale(key, n); e != nil {
+				c.over.staleServed.Add(1)
+				c.over.shedRebuilds.Add(1)
+				det = append(det, e.det[:min(n, len(e.det))]...)
+				pool = reservoirInto(pool, e.pool, poolCap, rng)
+				return det, pool
+			}
+		}
 	}
 	// Record the epochs before scanning: if the index or any shard
 	// changes mid-build, the stored entry is already stale and the next
@@ -1080,9 +1243,17 @@ func (c *Corpus) Top(n int) []Stat {
 func (sh *shard) run() {
 	if sh.st == nil {
 		for req := range sh.ch {
+			if req.credited {
+				sh.credits.Add(-1)
+			}
 			dirty := false
 			for _, a := range req.add {
 				if sh.liveAdd(a) {
+					dirty = true
+				}
+			}
+			for _, id := range req.remove {
+				if sh.applyRemove(id) {
 					dirty = true
 				}
 			}
@@ -1128,20 +1299,41 @@ func (sh *shard) run() {
 			}
 		}
 		sh.reqBuf = reqs[:0]
+		for _, r := range reqs {
+			if r.credited {
+				sh.credits.Add(-1)
+			}
+		}
 		if sh.killed != nil && sh.killed.Load() {
 			// Crash simulation: abandon the queue exactly as a dead
 			// process would — nothing here was acknowledged.
 			sh.shutdown()
 			return
 		}
+		// Additions and removals retained from a previously failed
+		// commit lead the batch: their index-side effects are already
+		// visible, so they must reach shard state (and the log) before
+		// anything newer.
+		if len(sh.pending) > 0 {
+			reqs = append(append([]applyReq{}, sh.pending...), reqs...)
+			sh.pending = nil
+		}
 		// One timestamp per group: the clock every applyEvent in the
 		// batch runs on, logged in each record so recovery and replay
 		// reproduce time-dependent telemetry exactly.
 		now := time.Now().UnixNano()
+		// Capture the log position so a failed commit can rewind the
+		// health counters along with the log's own rollback.
+		startLSN := sh.st.Log.NextLSN()
+		prevLag := sh.walLag.Load()
 		buf := sh.encBuf[:0]
 		for _, r := range reqs {
 			for _, a := range r.add {
 				buf = appendAddRecord(buf[:0], a, now)
+				sh.mustAppend(buf)
+			}
+			for _, id := range r.remove {
+				buf = appendRemoveRecord(buf[:0], id, now)
 				sh.mustAppend(buf)
 			}
 			for _, e := range r.events {
@@ -1151,11 +1343,41 @@ func (sh *shard) run() {
 		}
 		sh.encBuf = buf
 		if err := sh.st.Log.Commit(); err != nil {
-			// An apply loop that cannot make its log durable must not keep
-			// acknowledging feedback; failing loudly is the only honest
-			// option for a durability-configured deployment.
-			panic(fmt.Sprintf("serve: shard WAL commit failed: %v", err))
+			// The log is not durable, so NOTHING in this group may be
+			// acknowledged or applied: drop the buffered frames (the WAL
+			// truncates any partial bytes and rewinds its LSN), rewind
+			// the health counters, nack every waiter, and surface the
+			// sticky unhealthy state. Additions/removals are retained
+			// for the next group — their index-side effects already
+			// happened; events are the clients' to retry.
+			sh.walFailures.Add(1)
+			msg := err.Error()
+			sh.walErr.Store(&msg)
+			if derr := sh.st.Log.DropBuffered(); derr != nil {
+				// The log could not even restore its tail; give up
+				// loudly rather than risk acknowledging over corruption.
+				panic(fmt.Sprintf("serve: shard WAL unrecoverable after failed commit: %v (commit: %v)", derr, err))
+			}
+			if startLSN > 0 {
+				sh.appliedLSN.Store(startLSN - 1)
+			}
+			sh.walLag.Store(prevLag)
+			for _, r := range reqs {
+				if len(r.add) > 0 || len(r.remove) > 0 {
+					sh.pending = append(sh.pending, applyReq{add: r.add, remove: r.remove})
+				}
+				if r.done != nil {
+					r.done <- err
+					close(r.done)
+				}
+			}
+			if closed {
+				sh.shutdown()
+				return
+			}
+			continue
 		}
+		sh.walErr.Store(nil)
 		// One publish per drained group, not per request: the group
 		// boundary that amortizes the fsync amortizes the top-list
 		// rebuild too. It lands before the done channels close, so the
@@ -1164,6 +1386,11 @@ func (sh *shard) run() {
 		for _, r := range reqs {
 			for _, a := range r.add {
 				if sh.liveAdd(a) {
+					dirty = true
+				}
+			}
+			for _, id := range r.remove {
+				if sh.applyRemove(id) {
 					dirty = true
 				}
 			}
@@ -1190,6 +1417,9 @@ func (sh *shard) run() {
 }
 
 // mustAppend logs one record and advances the shard's LSN/lag counters.
+// Append only buffers in memory (no I/O), so it cannot fail for any
+// reason short of a programming error; Commit is where injected and
+// real disk faults surface, and they are handled there.
 func (sh *shard) mustAppend(payload []byte) {
 	lsn, err := sh.st.Log.Append(payload)
 	if err != nil {

@@ -15,8 +15,10 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -49,15 +51,24 @@ type Server struct {
 	mux    *http.ServeMux
 	start  time.Time
 
+	// limiter is the per-client token-bucket rate limiter, nil when
+	// Config.RateLimitRPS is zero (disabled).
+	limiter *rateLimiter
+
 	scratch sync.Pool // *connScratch
 
 	rankRequests     atomic.Uint64
 	feedbackRequests atomic.Uint64
+	feedback429      atomic.Uint64 // feedback batches refused: queue full
+	feedback503      atomic.Uint64 // feedback batches refused: WAL commit failed
 }
 
 // NewServer builds the HTTP front end for the corpus.
 func NewServer(c *Corpus) *Server {
 	s := &Server{corpus: c, mux: http.NewServeMux(), start: time.Now()}
+	if c.cfg.RateLimitRPS > 0 {
+		s.limiter = newRateLimiter(c.cfg.RateLimitRPS, c.cfg.RateLimitBurst)
+	}
 	s.scratch.New = func() any {
 		return &connScratch{in: make([]byte, 0, 1024), out: make([]byte, 0, 4096)}
 	}
@@ -97,6 +108,30 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 
 // ServeHTTP dispatches to the API endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// clientKey identifies the rate-limit bucket for a request: the
+// experiment unit when the request carries one (stable across NATs and
+// proxies), else the remote IP.
+func clientKey(unit string, r *http.Request) string {
+	if unit != "" {
+		return unit
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// rateLimit applies the per-client limiter, answering 429 + Retry-After
+// and reporting false when the client's bucket is empty.
+func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request, unit string) bool {
+	if s.limiter == nil || s.limiter.allow(clientKey(unit, r)) {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+	return false
+}
 
 // RankRequest is the POST /rank body.
 type RankRequest struct {
@@ -161,24 +196,36 @@ type ExperimentResponse struct {
 
 // StatsResponse is the GET /stats reply.
 type StatsResponse struct {
-	UptimeSeconds      float64     `json:"uptime_seconds"`
-	Shards             int         `json:"shards"`
-	Policy             string      `json:"policy"`
-	RankRequests       uint64      `json:"rank_requests"`
-	FeedbackRequests   uint64      `json:"feedback_requests"`
-	Pages              int         `json:"pages"`
-	Aware              int         `json:"aware"`
-	ZeroAware          int         `json:"zero_aware"`
-	TotalPopularity    float64     `json:"total_popularity"`
-	ImpressionsApplied uint64      `json:"impressions_applied"`
-	ClicksApplied      uint64      `json:"clicks_applied"`
-	Dropped            uint64      `json:"dropped"`
-	QueryCacheHits     uint64      `json:"query_cache_hits"`
-	QueryCacheMisses   uint64      `json:"query_cache_misses"`
-	QueryCacheEntries  int         `json:"query_cache_entries"`
-	Epochs             []uint64    `json:"epochs"`
-	Slots              []SlotStats `json:"slots"`
-	Arms               []ArmReport `json:"arms"`
+	UptimeSeconds      float64 `json:"uptime_seconds"`
+	Shards             int     `json:"shards"`
+	Policy             string  `json:"policy"`
+	RankRequests       uint64  `json:"rank_requests"`
+	FeedbackRequests   uint64  `json:"feedback_requests"`
+	Pages              int     `json:"pages"`
+	Aware              int     `json:"aware"`
+	ZeroAware          int     `json:"zero_aware"`
+	TotalPopularity    float64 `json:"total_popularity"`
+	ImpressionsApplied uint64  `json:"impressions_applied"`
+	ClicksApplied      uint64  `json:"clicks_applied"`
+	Dropped            uint64  `json:"dropped"`
+	QueryCacheHits     uint64  `json:"query_cache_hits"`
+	QueryCacheMisses   uint64  `json:"query_cache_misses"`
+	QueryCacheEntries  int     `json:"query_cache_entries"`
+	// Overload & defense telemetry (see Stats for semantics).
+	Degraded         bool   `json:"degraded"`
+	Feedback429      uint64 `json:"feedback_429"`
+	Feedback503      uint64 `json:"feedback_503"`
+	RateLimited429   uint64 `json:"rate_limited_429"`
+	FeedbackRejected uint64 `json:"feedback_rejected"`
+	StaleServed      uint64 `json:"stale_served"`
+	ShedRebuilds     uint64 `json:"shed_rebuilds"`
+	ProvenanceHeld   uint64 `json:"provenance_held"`
+	ProvenanceCapped uint64 `json:"provenance_capped"`
+	WALFailures      uint64 `json:"wal_failures"`
+
+	Epochs []uint64    `json:"epochs"`
+	Slots  []SlotStats `json:"slots"`
+	Arms   []ArmReport `json:"arms"`
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -217,6 +264,9 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		forced = a
+	}
+	if !s.rateLimit(w, r, req.Unit) {
+		return
 	}
 	s.rankRequests.Add(1)
 	var armName string
@@ -258,14 +308,41 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var unit string
+	for _, e := range req.Events {
+		if e.Unit != "" {
+			unit = e.Unit
+			break
+		}
+	}
+	if !s.rateLimit(w, r, unit) {
+		return
+	}
 	s.feedbackRequests.Add(1)
 	// Slot telemetry is recorded by the apply loops, so the /stats slot
 	// table only ever counts feedback that was actually folded in.
 	// Feedback copies events into per-shard batches, so the pooled slice
 	// is free for reuse as soon as it returns.
-	s.corpus.Feedback(req.Events)
-	sc.out = appendFeedbackResponse(sc.out[:0], len(req.Events))
-	writeRaw(w, http.StatusAccepted, sc.out)
+	//
+	// The 202 is a durability promise (the batch committed on every
+	// target shard), so admission failures must be surfaced, never
+	// silently dropped: a full queue is the client's signal to back off
+	// (429 + Retry-After, nothing was enqueued, retry the whole batch);
+	// a WAL commit failure means the shard cannot persist right now
+	// (503, the batch was nacked and /healthz reports unhealthy).
+	switch err := s.corpus.TryFeedback(req.Events); {
+	case err == nil:
+		sc.out = appendFeedbackResponse(sc.out[:0], len(req.Events))
+		writeRaw(w, http.StatusAccepted, sc.out)
+	case errors.Is(err, ErrOverloaded):
+		s.feedback429.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "feedback queue full, retry with backoff")
+	default:
+		s.feedback503.Add(1)
+		w.Header().Set("Retry-After", "2")
+		httpError(w, http.StatusServiceUnavailable, "feedback not durable: %v", err)
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -290,8 +367,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueryCacheHits:     cs.QueryCacheHits,
 		QueryCacheMisses:   cs.QueryCacheMisses,
 		QueryCacheEntries:  cs.QueryCacheEntries,
+		Degraded:           cs.Degraded,
+		Feedback429:        s.feedback429.Load(),
+		Feedback503:        s.feedback503.Load(),
+		FeedbackRejected:   cs.FeedbackRejected,
+		StaleServed:        cs.StaleServed,
+		ShedRebuilds:       cs.ShedRebuilds,
+		ProvenanceHeld:     cs.ProvenanceHeld,
+		ProvenanceCapped:   cs.ProvenanceCapped,
+		WALFailures:        cs.WALFailures,
 		Epochs:             cs.Epochs,
 		Arms:               cs.Arms,
+	}
+	if s.limiter != nil {
+		resp.RateLimited429 = s.limiter.limited.Load()
 	}
 	// Trim the slot table to the deepest position that saw traffic.
 	last := 0
@@ -326,7 +415,22 @@ type HealthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ready", HealthReport: s.corpus.Health()})
+	h := s.corpus.Health()
+	// Degraded mode still answers 200: the corpus IS serving (stale
+	// candidates beat no candidates), and a 503 here would get a loaded
+	// instance pulled from rotation — exactly when shedding load onto
+	// its peers makes everything worse. 503 is reserved for states where
+	// the instance genuinely should not receive traffic: recovery in
+	// progress (the daemon's placeholder handler) and a failing WAL
+	// (feedback is being nacked).
+	status, code := "ready", http.StatusOK
+	switch {
+	case h.WALFailing:
+		status, code = "unhealthy", http.StatusServiceUnavailable
+	case h.Degraded:
+		status = "degraded"
+	}
+	writeJSON(w, code, HealthzResponse{Status: status, HealthReport: h})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -167,6 +167,32 @@ func (st *shardState) applyEvent(e Event, nanos int64) outcome {
 	return out
 }
 
+// applyRemove deletes one page from the shard state: its stat entry,
+// its treap or zero-awareness-pool membership, and its retained text.
+// Removals of unknown pages count as dropped (the live path's index
+// delete already filtered them; replayed logs may still carry them).
+// Returns true when the servable view changed and needs republishing.
+func (st *shardState) applyRemove(id int) bool {
+	v, ok := st.stats.Load(id)
+	if !ok {
+		st.dropped.Add(1)
+		return false
+	}
+	s := v.(*Stat)
+	st.stats.Delete(id)
+	if st.texts != nil {
+		delete(st.texts, id)
+	}
+	st.pages.Add(-1)
+	if s.Aware {
+		st.treap.Delete(id)
+	} else {
+		st.zeroAware.Add(-1)
+		st.removeFromPool(id)
+	}
+	return true
+}
+
 func (st *shardState) removeFromPool(id int) {
 	pos, ok := st.poolPos[id]
 	if !ok {

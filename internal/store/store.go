@@ -41,6 +41,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/faultfs"
 	"repro/internal/wal"
 )
 
@@ -106,6 +107,9 @@ type Snapshot struct {
 // Shard is one shard's persistence: its WAL and snapshot directory.
 type Shard struct {
 	dir string
+	// inject, when non-nil, subjects snapshot writes to the same fault
+	// plan as the shard's WAL (it is copied from wal.Options.Inject).
+	inject *faultfs.Injector
 	// Log is the shard's write-ahead log, opened (and torn-tail
 	// recovered) by store.Open.
 	Log *wal.Log
@@ -216,7 +220,7 @@ func open(dir string, want *Meta, walOpts wal.Options) (*Store, error) {
 			s.Close()
 			return nil, fmt.Errorf("store: shard %d: %w", i, err)
 		}
-		s.shards = append(s.shards, &Shard{dir: sdir, Log: l, Recover: info})
+		s.shards = append(s.shards, &Shard{dir: sdir, inject: walOpts.Inject, Log: l, Recover: info})
 	}
 	return s, nil
 }
@@ -306,17 +310,22 @@ func writeMeta(dir string, m Meta) error {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return atomicWrite(dir, "meta.json", append(data, '\n'))
+	return atomicWrite(dir, "meta.json", append(data, '\n'), nil)
 }
 
-// atomicWrite writes name under dir via temp file + fsync + rename.
-func atomicWrite(dir, name string, data []byte) error {
+// atomicWrite writes name under dir via temp file + fsync + rename,
+// routing the write and fsync through inject when one is configured.
+func atomicWrite(dir, name string, data []byte, inject *faultfs.Injector) error {
 	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err == nil {
+	if inject != nil {
+		if _, err = inject.Write(tmp, data); err == nil {
+			err = inject.Sync(tmp)
+		}
+	} else if _, err = tmp.Write(data); err == nil {
 		err = tmp.Sync()
 	}
 	if cerr := tmp.Close(); err == nil {
@@ -397,7 +406,7 @@ func (sh *Shard) LatestSnapshot() (*Snapshot, error) {
 // keepLog the full event history is retained for offline counterfactual
 // replay; snapshots then only bound recovery time, not disk.
 func (sh *Shard) WriteSnapshot(snap *Snapshot, keepLog bool) error {
-	if err := atomicWrite(sh.dir, snapName(snap.LSN), encodeSnapshot(snap)); err != nil {
+	if err := atomicWrite(sh.dir, snapName(snap.LSN), encodeSnapshot(snap), sh.inject); err != nil {
 		return err
 	}
 	lsns, err := sh.snapshotLSNs()

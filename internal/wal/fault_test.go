@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+// replayAll replays the whole log into memory.
+func replayAll(t *testing.T, l *Log) map[uint64]string {
+	t.Helper()
+	got := map[uint64]string{}
+	if err := l.Replay(1, func(lsn uint64, payload []byte) error {
+		got[lsn] = string(payload)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestCommitRetriesAfterTornWrite(t *testing.T) {
+	inj := &faultfs.Injector{}
+	l, _, err := Open(t.TempDir(), Options{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("clean commit: %v", err)
+	}
+
+	inj.SetTornWrites(true)
+	inj.FailWrites(1)
+	if _, err := l.Append([]byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("gamma")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); !errors.Is(err, faultfs.ErrInjectedWrite) {
+		t.Fatalf("commit error = %v, want injected write", err)
+	}
+	if got := inj.WriteFailures(); got != 1 {
+		t.Fatalf("write failures = %d, want 1", got)
+	}
+
+	// Retry must first truncate the half-written batch, then land it
+	// exactly once.
+	if err := l.Commit(); err != nil {
+		t.Fatalf("retry commit: %v", err)
+	}
+	got := replayAll(t, l)
+	want := map[uint64]string{1: "alpha", 2: "beta", 3: "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d: %v", len(got), len(want), got)
+	}
+	for lsn, payload := range want {
+		if got[lsn] != payload {
+			t.Fatalf("lsn %d = %q, want %q", lsn, got[lsn], payload)
+		}
+	}
+
+	// Reopen: on-disk bytes must be frame-clean (no duplicated partial
+	// prefix from the torn attempt).
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, info, err := Open(l.dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if info.TornBytes != 0 {
+		t.Fatalf("torn bytes after clean retry = %d, want 0", info.TornBytes)
+	}
+	if info.Records != 3 {
+		t.Fatalf("records = %d, want 3", info.Records)
+	}
+}
+
+func TestDropBufferedNacksBatchAndRewindsLSN(t *testing.T) {
+	inj := &faultfs.Injector{}
+	l, _, err := Open(t.TempDir(), Options{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	inj.SetTornWrites(true)
+	inj.FailWrites(1)
+	lsn, err := l.Append([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 {
+		t.Fatalf("lsn = %d, want 2", lsn)
+	}
+	if err := l.Commit(); err == nil {
+		t.Fatal("commit should fail")
+	}
+	if err := l.DropBuffered(); err != nil {
+		t.Fatalf("drop buffered: %v", err)
+	}
+	if got := l.NextLSN(); got != 2 {
+		t.Fatalf("next lsn after drop = %d, want 2 (slot reused)", got)
+	}
+
+	// The dropped slot is reusable and the file is clean.
+	if _, err := l.Append([]byte("replacement")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit after drop: %v", err)
+	}
+	got := replayAll(t, l)
+	if got[1] != "keep" || got[2] != "replacement" || len(got) != 2 {
+		t.Fatalf("replay = %v, want {1:keep 2:replacement}", got)
+	}
+}
+
+func TestFsyncFailureRetainsBatchUntilRetry(t *testing.T) {
+	inj := &faultfs.Injector{}
+	l, _, err := Open(t.TempDir(), Options{Fsync: FsyncBatch, Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inj.FailSyncs(2)
+	if _, err := l.Append([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); !errors.Is(err, faultfs.ErrInjectedSync) {
+		t.Fatalf("commit error = %v, want injected sync", err)
+	}
+	if err := l.Commit(); !errors.Is(err, faultfs.ErrInjectedSync) {
+		t.Fatalf("second commit error = %v, want injected sync", err)
+	}
+	if got := inj.SyncFailures(); got != 2 {
+		t.Fatalf("sync failures = %d, want 2", got)
+	}
+	// Fault budget exhausted: the retry rewrites and syncs for real.
+	if err := l.Commit(); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	got := replayAll(t, l)
+	if got[1] != "one" || len(got) != 1 {
+		t.Fatalf("replay = %v, want {1:one}", got)
+	}
+}
+
+func TestDiskFullSurfacesENOSPC(t *testing.T) {
+	inj := &faultfs.Injector{}
+	l, _, err := Open(t.TempDir(), Options{Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inj.SetDiskFull(true)
+	if _, err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("commit error = %v, want ENOSPC", err)
+	}
+	inj.Clear()
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit after space freed: %v", err)
+	}
+	got := replayAll(t, l)
+	if got[1] != "x" || len(got) != 1 {
+		t.Fatalf("replay = %v", got)
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/faultfs"
 )
 
 // FsyncMode selects when Commit makes appended records durable.
@@ -110,6 +112,10 @@ type Options struct {
 	// appending, and Append/Commit fail. The mode for offline tools
 	// reading a log they do not own.
 	ReadOnly bool
+	// Inject, when non-nil, routes segment writes and fsyncs through a
+	// fault injector so tests and chaos scenarios can force short
+	// writes, fsync errors, disk-full and latency spikes on this log.
+	Inject *faultfs.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -152,6 +158,12 @@ type Log struct {
 	nextLSN  uint64
 	size     int64 // bytes across all segments, including uncommitted
 	dirSync  bool  // directory fsync needed after the next rotation
+	// dirty means a failed Commit may have left bytes in the active
+	// segment beyond the last durable frame (a partial write, or a full
+	// write whose fsync failed and whose pages the kernel may since have
+	// dropped). The next Commit or DropBuffered truncates back to the
+	// last known-good size before touching the file again.
+	dirty bool
 }
 
 // Open validates the log in dir (creating it when absent), truncates any
@@ -318,6 +330,16 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 
 // Commit writes every record appended since the last Commit and makes
 // the batch durable per the fsync mode — the group-commit boundary.
+//
+// Commit is transactional about the log's own state: nothing (segment
+// bounds, sizes, the append buffer) is updated until the batch has been
+// fully written AND synced. On failure the buffered frames are retained
+// and the log stays usable — the caller can retry Commit (which first
+// truncates away any partial bytes the failed attempt left behind) or
+// call DropBuffered to nack the batch. A failed fsync is treated like a
+// failed write: the kernel may drop the dirty pages after reporting the
+// error, so a bare re-fsync could silently "succeed" over lost data —
+// the retry rewrites the batch from the beginning instead.
 func (l *Log) Commit() error {
 	if len(l.buf) == 0 {
 		return nil
@@ -325,19 +347,26 @@ func (l *Log) Commit() error {
 	if err := l.ensureActive(); err != nil {
 		return err
 	}
-	if _, err := l.active.Write(l.buf); err != nil {
+	if l.dirty {
+		if err := l.rollback(); err != nil {
+			return err
+		}
+	}
+	if err := l.write(l.buf); err != nil {
+		l.dirty = true
 		return fmt.Errorf("wal: %w", err)
+	}
+	if l.opts.Fsync != FsyncNone {
+		if err := l.sync(); err != nil {
+			l.dirty = true
+			return fmt.Errorf("wal: %w", err)
+		}
 	}
 	seg := &l.segments[len(l.segments)-1]
 	seg.size += int64(len(l.buf))
 	seg.last = l.nextLSN - 1
 	l.size += int64(len(l.buf))
 	l.buf = l.buf[:0]
-	if l.opts.Fsync != FsyncNone {
-		if err := l.active.Sync(); err != nil {
-			return fmt.Errorf("wal: %w", err)
-		}
-	}
 	if l.dirSync {
 		if err := SyncDir(l.dir); err != nil {
 			return err
@@ -353,6 +382,55 @@ func (l *Log) Commit() error {
 	return nil
 }
 
+// DropBuffered discards every record appended since the last successful
+// Commit, rewinding the next LSN to reuse their slots, and truncates
+// away any partial bytes a failed Commit left in the active segment.
+// The nack path: after a Commit error the caller either retries Commit
+// or calls this to give up on the batch.
+func (l *Log) DropBuffered() error {
+	if len(l.buf) > 0 {
+		l.nextLSN = l.bufFirst
+		l.buf = l.buf[:0]
+	}
+	if l.dirty {
+		return l.rollback()
+	}
+	return nil
+}
+
+// rollback truncates the active segment back to its last known-good
+// size, discarding bytes a failed Commit attempt may have landed. The
+// active fd is opened O_APPEND, so subsequent writes continue at the
+// new end of file.
+func (l *Log) rollback() error {
+	seg := &l.segments[len(l.segments)-1]
+	if err := os.Truncate(seg.path, seg.size); err != nil {
+		return fmt.Errorf("wal: rollback: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+// write appends p to the active segment, through the injector when one
+// is configured.
+func (l *Log) write(p []byte) error {
+	if in := l.opts.Inject; in != nil {
+		_, err := in.Write(l.active, p)
+		return err
+	}
+	_, err := l.active.Write(p)
+	return err
+}
+
+// sync fsyncs the active segment, through the injector when one is
+// configured.
+func (l *Log) sync() error {
+	if in := l.opts.Inject; in != nil {
+		return in.Sync(l.active)
+	}
+	return l.active.Sync()
+}
+
 // ensureActive opens (rotating to) the segment the next write lands in.
 func (l *Log) ensureActive() error {
 	if l.active != nil {
@@ -362,7 +440,7 @@ func (l *Log) ensureActive() error {
 	// rotation close — both cases start a new segment (Open reopens a
 	// final segment with room itself).
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", l.bufFirst))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -405,6 +483,7 @@ func (l *Log) ResetTo(lsn uint64) error {
 	l.segments = nil
 	l.buf = l.buf[:0]
 	l.size = 0
+	l.dirty = false
 	l.nextLSN = lsn
 	return SyncDir(l.dir)
 }

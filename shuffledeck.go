@@ -466,7 +466,16 @@ func (l *Live) Add(id int, text string, popularity float64) error {
 
 // Feedback enqueues slot-level impressions and clicks for asynchronous
 // application. It blocks only under backpressure (a full shard queue).
-func (l *Live) Feedback(events []LiveEvent) { l.c.Feedback(events) }
+// On a durable corpus a nil return is the durability promise (the batch
+// committed to every target shard's WAL); a non-nil error means a WAL
+// commit failed and the batch was not applied there — retry once Health
+// clears (re-delivery to already-committed shards is at-least-once).
+func (l *Live) Feedback(events []LiveEvent) error { return l.c.Feedback(events) }
+
+// TryFeedback is Feedback without blocking: when a target shard's
+// feedback queue is full it returns serve.ErrOverloaded immediately and
+// nothing is enqueued anywhere, so the whole batch is safe to retry.
+func (l *Live) TryFeedback(events []LiveEvent) error { return l.c.TryFeedback(events) }
 
 // Rank serves at most n results for the query (empty = whole corpus),
 // independently randomized per call under the corpus policy.
