@@ -1,12 +1,22 @@
 // Command shuffledeckd runs the online ranking service: a live sharded
 // corpus served over HTTP/JSON, with feedback-driven rank promotion.
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the unprefixed legacy paths remain as
+// byte-identical aliases answering with a Deprecation header):
 //
-//	POST /rank      {"query":"...","n":10}             → randomized result list
-//	POST /feedback  {"events":[{"page":7,"slot":2,"impressions":1,"clicks":1}]}
-//	GET  /stats     corpus accounting + per-slot impression/click telemetry
-//	GET  /healthz   readiness: recovery state, per-shard queue depth, WAL lag
+//	POST /v1/rank        {"query":"...","n":10}        → randomized result list
+//	POST /v1/rank/batch  many rank requests per call — JSON
+//	                     {"requests":[...]} or the binary codec when
+//	                     Content-Type is application/x-shuffledeck-batch
+//	POST /v1/feedback    {"events":[{"page":7,"slot":2,"impressions":1,"clicks":1}]}
+//	GET  /v1/stats       corpus accounting + per-slot impression/click telemetry
+//	GET  /v1/experiment  per-arm A/B scorecard
+//	GET  /v1/healthz     readiness: recovery state, per-shard queue depth, WAL lag
+//
+// Failures answer with the structured error envelope
+// {"error":{"code":"...","message":"...","retry_after_ms":N}}; 429/503
+// carry the retry hint in both the envelope and the Retry-After header.
+// See docs/api.md for the full contract.
 //
 // Flags:
 //
@@ -199,18 +209,22 @@ func main() {
 	}
 
 	cfg := serve.Config{
-		Shards:           *shards,
-		TopK:             *topk,
-		PoolCap:          *poolcap,
-		Policy:           pol,
-		Arms:             arms,
-		Seed:             *seed,
-		DataDir:          *dataDir,
-		SnapshotInterval: *snapInterval,
-		FsyncMode:        *fsyncMode,
-		KeepLog:          *keepLog,
-		RateLimitRPS:     *rateRPS,
-		RateLimitBurst:   *rateBurst,
+		Shards:  *shards,
+		TopK:    *topk,
+		PoolCap: *poolcap,
+		Policy:  pol,
+		Arms:    arms,
+		Seed:    *seed,
+		Limits: serve.Limits{
+			RateLimitRPS:   *rateRPS,
+			RateLimitBurst: *rateBurst,
+		},
+		Durability: serve.Durability{
+			DataDir:          *dataDir,
+			SnapshotInterval: *snapInterval,
+			FsyncMode:        *fsyncMode,
+			KeepLog:          *keepLog,
+		},
 	}
 	if err := cfg.Validate(); err != nil {
 		fail("%v", err)
@@ -345,18 +359,22 @@ func (g *bootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // recoveringHandler is the boot placeholder: everything — including
-// /healthz — answers 503 so probes that key on the status code (k8s
-// httpGet readiness, LB health checks) hold traffic until the swap;
-// /healthz additionally carries the machine-readable recovery state for
-// operators who look at the body.
+// the health endpoint — answers 503 so probes that key on the status
+// code (k8s httpGet readiness, LB health checks) hold traffic until the
+// swap; /healthz and /v1/healthz additionally carry the
+// machine-readable recovery state for operators who look at the body.
+// Every other path gets the structured error envelope with a retry
+// hint, so /v1 clients (loadgen among them) back off instead of
+// hammering a recovering instance.
 func recoveringHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
 	w.WriteHeader(http.StatusServiceUnavailable)
-	if r.URL.Path == "/healthz" {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/v1/healthz" {
 		fmt.Fprintln(w, `{"status":"recovering","ready":false}`)
 		return
 	}
-	fmt.Fprintln(w, `{"error":"recovering from data dir; not ready"}`)
+	fmt.Fprintln(w, `{"error":{"code":"unavailable","message":"recovering from data dir; not ready","retry_after_ms":1000}}`)
 }
 
 // runServer serves h on ln until ctx is canceled (SIGINT/SIGTERM in

@@ -1,0 +1,512 @@
+// Contract tests for the versioned /v1 API surface: legacy aliases stay
+// byte-identical to their /v1 successors (plus migration headers), every
+// failure path answers the structured error envelope, the batch endpoint
+// serves both codecs equivalently, and the dense page table survives a
+// concurrent add/feedback/rank storm with exact popularity conservation.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// do issues one request against the handler and returns the recorder.
+func do(t *testing.T, h http.Handler, method, path, contentType string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// decodeEnvelope parses an error-envelope body, failing the test on any
+// other shape.
+func decodeEnvelope(t *testing.T, w *httptest.ResponseRecorder) ErrorInfo {
+	t.Helper()
+	var env ErrorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("response is not an error envelope: %q: %v", w.Body.String(), err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %q", w.Body.String())
+	}
+	return env.Error
+}
+
+// TestV1AliasByteIdentity pins the migration contract: every legacy
+// unprefixed route answers the byte-identical body and status of its
+// /v1 successor, plus the Deprecation and successor-version Link
+// headers; the /v1 route itself carries neither.
+func TestV1AliasByteIdentity(t *testing.T) {
+	c := newTestCorpus(t, Config{Shards: 2, Seed: 5, Arms: []Arm{
+		{Name: "control", Policy: pspec("deterministic", 0, 0, 0), Weight: 1},
+		{Name: "explore", Policy: pspec("selective", 1, 0.3, 0), Weight: 1},
+	}})
+	for i := 0; i < 20; i++ {
+		pop := float64(20 - i)
+		if i%5 == 0 {
+			pop = 0
+		}
+		if err := c.Add(i, fmt.Sprintf("alias topic page%d", i), pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	srv := NewServer(c)
+
+	seed := uint64(42)
+	rankBody, _ := json.Marshal(RankRequest{Query: "alias topic", N: 10, Unit: "u1", Seed: &seed})
+	fbBody, _ := json.Marshal(FeedbackRequest{Events: []Event{{Page: 1, Slot: 1, Impressions: 1}}})
+	cases := []struct {
+		method, path string
+		body         []byte
+	}{
+		{http.MethodPost, "/rank", rankBody},
+		{http.MethodPost, "/feedback", fbBody},
+		{http.MethodGet, "/healthz", nil},
+		{http.MethodGet, "/experiment", nil},
+		// Error paths must be identical too.
+		{http.MethodGet, "/rank", nil},
+		{http.MethodPost, "/rank", []byte("{not json")},
+	}
+	for _, tc := range cases {
+		// Quiesce async feedback application so state-reading pairs
+		// (healthz, stats) compare a stable corpus.
+		c.Sync()
+		legacy := do(t, srv, tc.method, tc.path, "application/json", tc.body)
+		v1 := do(t, srv, tc.method, "/v1"+tc.path, "application/json", tc.body)
+		if legacy.Code != v1.Code {
+			t.Fatalf("%s %s: legacy status %d, /v1 status %d", tc.method, tc.path, legacy.Code, v1.Code)
+		}
+		if !bytes.Equal(legacy.Body.Bytes(), v1.Body.Bytes()) {
+			t.Fatalf("%s %s: legacy body %q differs from /v1 body %q",
+				tc.method, tc.path, legacy.Body.String(), v1.Body.String())
+		}
+		if dep := legacy.Header().Get("Deprecation"); dep != "true" {
+			t.Fatalf("%s %s: legacy Deprecation header = %q, want \"true\"", tc.method, tc.path, dep)
+		}
+		wantLink := "</v1" + tc.path + `>; rel="successor-version"`
+		if link := legacy.Header().Get("Link"); link != wantLink {
+			t.Fatalf("%s %s: legacy Link header = %q, want %q", tc.method, tc.path, link, wantLink)
+		}
+		if v1.Header().Get("Deprecation") != "" || v1.Header().Get("Link") != "" {
+			t.Fatalf("%s /v1%s: versioned route carries migration headers", tc.method, tc.path)
+		}
+	}
+
+	// /stats carries a wall-clock uptime, so compare it field-wise with
+	// uptime masked instead of byte-wise.
+	legacy := do(t, srv, http.MethodGet, "/stats", "", nil)
+	v1 := do(t, srv, http.MethodGet, "/v1/stats", "", nil)
+	var ls, vs map[string]any
+	if err := json.Unmarshal(legacy.Body.Bytes(), &ls); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(v1.Body.Bytes(), &vs); err != nil {
+		t.Fatal(err)
+	}
+	delete(ls, "uptime_seconds")
+	delete(vs, "uptime_seconds")
+	if !reflect.DeepEqual(ls, vs) {
+		t.Fatalf("stats differ:\nlegacy %v\n/v1    %v", ls, vs)
+	}
+	if legacy.Header().Get("Deprecation") != "true" {
+		t.Fatal("legacy /stats missing Deprecation header")
+	}
+
+	// The batch endpoint is new with /v1: no legacy alias exists.
+	if w := do(t, srv, http.MethodPost, "/rank/batch", "application/json", []byte(`{"requests":[{}]}`)); w.Code != http.StatusNotFound {
+		t.Fatalf("legacy /rank/batch answered %d, want 404 (new endpoint, no alias)", w.Code)
+	}
+}
+
+// TestErrorEnvelopeRoundTrips drives every client-error failure path and
+// asserts the unified envelope comes back: stable code, non-empty
+// message, and no stray retry hint on non-backoff errors.
+func TestErrorEnvelopeRoundTrips(t *testing.T) {
+	c := newTestCorpus(t, Config{Shards: 2, Seed: 3, Arms: []Arm{
+		{Name: "only", Policy: pspec("selective", 1, 0.1, 0), Weight: 1},
+	}})
+	if err := c.Add(1, "envelope topic", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+	srv := NewServer(c)
+
+	longBatch, _ := json.Marshal(RankBatchRequest{Requests: make([]RankRequest, MaxBatchRequests+1)})
+	cases := []struct {
+		name, method, path, contentType string
+		body                            []byte
+		status                          int
+		code                            string
+	}{
+		{"rank method", http.MethodGet, "/v1/rank", "", nil, 405, ErrCodeMethodNotAllowed},
+		{"rank bad json", http.MethodPost, "/v1/rank", "application/json", []byte("{not json"), 400, ErrCodeBadRequest},
+		{"rank negative n", http.MethodPost, "/v1/rank", "application/json", []byte(`{"n":-3}`), 400, ErrCodeBadRequest},
+		{"rank unknown arm", http.MethodPost, "/v1/rank", "application/json", []byte(`{"arm":"nope"}`), 400, ErrCodeBadRequest},
+		{"feedback method", http.MethodGet, "/v1/feedback", "", nil, 405, ErrCodeMethodNotAllowed},
+		{"feedback bad json", http.MethodPost, "/v1/feedback", "application/json", []byte("<xml>"), 400, ErrCodeBadRequest},
+		{"feedback negative counts", http.MethodPost, "/v1/feedback", "application/json",
+			[]byte(`{"events":[{"page":1,"slot":1,"clicks":-1}]}`), 400, ErrCodeBadRequest},
+		{"feedback bad slot", http.MethodPost, "/v1/feedback", "application/json",
+			[]byte(`{"events":[{"page":1,"slot":0,"clicks":1}]}`), 400, ErrCodeBadRequest},
+		{"stats method", http.MethodPost, "/v1/stats", "", nil, 405, ErrCodeMethodNotAllowed},
+		{"experiment method", http.MethodPost, "/v1/experiment", "", nil, 405, ErrCodeMethodNotAllowed},
+		{"batch method", http.MethodGet, "/v1/rank/batch", "", nil, 405, ErrCodeMethodNotAllowed},
+		{"batch bad json", http.MethodPost, "/v1/rank/batch", "application/json", []byte("{not json"), 400, ErrCodeBadRequest},
+		{"batch empty", http.MethodPost, "/v1/rank/batch", "application/json", []byte(`{"requests":[]}`), 400, ErrCodeBadRequest},
+		{"batch oversized", http.MethodPost, "/v1/rank/batch", "application/json", longBatch, 400, ErrCodeBadRequest},
+		{"batch bad sub-request", http.MethodPost, "/v1/rank/batch", "application/json",
+			[]byte(`{"requests":[{"n":5},{"n":-1}]}`), 400, ErrCodeBadRequest},
+		{"batch bad binary frame", http.MethodPost, "/v1/rank/batch", BatchContentType, []byte{0xff, 0x01, 0x02}, 400, ErrCodeBadRequest},
+	}
+	for _, tc := range cases {
+		w := do(t, srv, tc.method, tc.path, tc.contentType, tc.body)
+		if w.Code != tc.status {
+			t.Fatalf("%s: status %d body %q, want %d", tc.name, w.Code, w.Body.String(), tc.status)
+		}
+		info := decodeEnvelope(t, w)
+		if info.Code != tc.code {
+			t.Fatalf("%s: envelope code %q, want %q", tc.name, info.Code, tc.code)
+		}
+		if info.RetryAfterMS != 0 {
+			t.Fatalf("%s: client error carries retry_after_ms %d", tc.name, info.RetryAfterMS)
+		}
+		if w.Header().Get("Retry-After") != "" {
+			t.Fatalf("%s: client error carries Retry-After header", tc.name)
+		}
+	}
+	// The batch's positional errors name the offending sub-request.
+	w := do(t, srv, http.MethodPost, "/v1/rank/batch", "application/json",
+		[]byte(`{"requests":[{"n":5},{"arm":"nope"}]}`))
+	if info := decodeEnvelope(t, w); !strings.Contains(info.Message, "request 1") {
+		t.Fatalf("batch error message %q does not name the sub-request", info.Message)
+	}
+}
+
+// TestErrorEnvelopeRateLimited exhausts a 1-token bucket and checks the
+// 429 carries code rate_limited with the retry hint mirrored between the
+// Retry-After header (whole seconds) and the body (milliseconds).
+func TestErrorEnvelopeRateLimited(t *testing.T) {
+	c := newTestCorpus(t, Config{Shards: 1, Seed: 7,
+		Limits: Limits{RateLimitRPS: 0.001, RateLimitBurst: 1}})
+	if err := c.Add(1, "limited topic", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+	srv := NewServer(c)
+
+	if w := postJSON(t, srv, "/v1/rank", RankRequest{Unit: "u1"}); w.Code != http.StatusOK {
+		t.Fatalf("first request: %d", w.Code)
+	}
+	w := postJSON(t, srv, "/v1/rank", RankRequest{Unit: "u1"})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", w.Code)
+	}
+	info := decodeEnvelope(t, w)
+	if info.Code != ErrCodeRateLimited {
+		t.Fatalf("envelope code %q, want %q", info.Code, ErrCodeRateLimited)
+	}
+	if info.RetryAfterMS <= 0 {
+		t.Fatalf("429 envelope retry_after_ms = %d, want > 0", info.RetryAfterMS)
+	}
+	secs, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After header %q not an integer", w.Header().Get("Retry-After"))
+	}
+	// Header is the body hint rounded up to whole seconds.
+	if want := (info.RetryAfterMS + 999) / 1000; int64(secs) != want {
+		t.Fatalf("Retry-After %ds does not mirror retry_after_ms %d", secs, info.RetryAfterMS)
+	}
+}
+
+// TestErrorEnvelopeOverloadAndWAL drives the two server-side backoff
+// paths — a full feedback queue (429 overloaded) and a failing WAL (503
+// unavailable) — and checks both answer the envelope with retry hints.
+func TestErrorEnvelopeOverloadAndWAL(t *testing.T) {
+	inject := &faultfs.Injector{}
+	c, err := NewCorpus(Config{
+		Shards:   1,
+		QueueLen: 1,
+		Seed:     7,
+		Durability: Durability{
+			DataDir:       t.TempDir(),
+			FaultInjector: inject,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := NewServer(c)
+	if err := c.Add(1, "storm topic", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+
+	// 503: every fsync fails, so the batch cannot be made durable.
+	inject.FailSyncs(-1)
+	w := postJSON(t, srv, "/v1/feedback", FeedbackRequest{Events: []Event{{Page: 1, Slot: 1, Impressions: 1}}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("feedback during WAL failure: %d, want 503", w.Code)
+	}
+	info := decodeEnvelope(t, w)
+	if info.Code != ErrCodeUnavailable || info.RetryAfterMS <= 0 {
+		t.Fatalf("503 envelope = %+v, want code %q with a retry hint", info, ErrCodeUnavailable)
+	}
+	inject.Clear()
+
+	// 429: stall commits so the 1-deep queue fills, then overflow it.
+	inject.SetLatency(300 * time.Millisecond)
+	release := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { release <- c.TryFeedback([]Event{{Page: 1, Slot: 1, Impressions: 1}}) }()
+		time.Sleep(50 * time.Millisecond)
+	}
+	w = postJSON(t, srv, "/v1/feedback", FeedbackRequest{Events: []Event{{Page: 1, Slot: 1, Impressions: 1}}})
+	inject.SetLatency(0)
+	for i := 0; i < 2; i++ {
+		if err := <-release; err != nil {
+			t.Fatalf("stalled batch %d: %v", i, err)
+		}
+	}
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("feedback into full queue: %d, want 429", w.Code)
+	}
+	info = decodeEnvelope(t, w)
+	if info.Code != ErrCodeOverloaded || info.RetryAfterMS <= 0 {
+		t.Fatalf("429 envelope = %+v, want code %q with a retry hint", info, ErrCodeOverloaded)
+	}
+}
+
+// TestRankBatchJSONBinaryEquivalence serves the same seeded batch
+// through both codecs and checks they rank identically — and that the
+// server's streamed binary frame is byte-identical to the package
+// encoder run over the JSON responses (the property the client-side
+// decoder relies on).
+func TestRankBatchJSONBinaryEquivalence(t *testing.T) {
+	c := newTestCorpus(t, Config{Shards: 2, Seed: 9, Arms: []Arm{
+		{Name: "control", Policy: pspec("deterministic", 0, 0, 0), Weight: 1},
+		{Name: "explore", Policy: pspec("selective", 1, 0.3, 0), Weight: 1},
+	}})
+	for i := 0; i < 30; i++ {
+		pop := float64(30 - i)
+		if i%4 == 0 {
+			pop = 0
+		}
+		if err := c.Add(i, fmt.Sprintf("batch topic page%d", i), pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	srv := NewServer(c)
+
+	seeds := []uint64{1, 2, 3, 4}
+	reqs := make([]RankRequest, len(seeds))
+	for i, s := range seeds {
+		seed := s
+		reqs[i] = RankRequest{Query: "batch topic", N: 8, Unit: fmt.Sprintf("u%d", i), Seed: &seed}
+	}
+	jsonBody, _ := json.Marshal(RankBatchRequest{Requests: reqs})
+	jw := do(t, srv, http.MethodPost, "/v1/rank/batch", "application/json", jsonBody)
+	if jw.Code != http.StatusOK {
+		t.Fatalf("JSON batch: %d %s", jw.Code, jw.Body.String())
+	}
+	var jresp RankBatchResponse
+	if err := json.Unmarshal(jw.Body.Bytes(), &jresp); err != nil {
+		t.Fatal(err)
+	}
+	if len(jresp.Responses) != len(reqs) {
+		t.Fatalf("JSON batch returned %d responses, want %d", len(jresp.Responses), len(reqs))
+	}
+
+	binBody := AppendRankBatchRequest(nil, reqs)
+	bw := do(t, srv, http.MethodPost, "/v1/rank/batch", BatchContentType, binBody)
+	if bw.Code != http.StatusOK {
+		t.Fatalf("binary batch: %d %s", bw.Code, bw.Body.String())
+	}
+	if ct := bw.Header().Get("Content-Type"); ct != BatchContentType {
+		t.Fatalf("binary batch Content-Type %q, want %q", ct, BatchContentType)
+	}
+	bresp, err := DecodeRankBatchResponse(bw.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bresp) != len(reqs) {
+		t.Fatalf("binary batch returned %d responses, want %d", len(bresp), len(reqs))
+	}
+
+	// Same seeds, same corpus state: the two codecs must carry the same
+	// ranking (the binary frame does not echo the query).
+	for i := range reqs {
+		j, b := jresp.Responses[i], bresp[i]
+		if j.Arm != b.Arm || j.Epoch != b.Epoch || !reflect.DeepEqual(j.Results, b.Results) {
+			t.Fatalf("response %d diverges between codecs:\nJSON   %+v\nbinary %+v", i, j, b)
+		}
+	}
+	// The server's streamed frame equals the package encoder's output for
+	// the same responses (queries cleared: they are not on the wire).
+	canonical := make([]RankResponse, len(jresp.Responses))
+	copy(canonical, jresp.Responses)
+	for i := range canonical {
+		canonical[i].Query = ""
+	}
+	if want := AppendRankBatchResponse(nil, canonical); !bytes.Equal(bw.Body.Bytes(), want) {
+		t.Fatalf("server binary frame differs from AppendRankBatchResponse:\ngot  %x\nwant %x",
+			bw.Body.Bytes(), want)
+	}
+}
+
+// TestRankBatchAccounting checks the batch endpoint's metering contract:
+// every sub-request counts in rank_requests, but the rate limiter
+// charges the whole batch one token.
+func TestRankBatchAccounting(t *testing.T) {
+	c := newTestCorpus(t, Config{Shards: 1, Seed: 11,
+		Limits: Limits{RateLimitRPS: 0.001, RateLimitBurst: 1}})
+	if err := c.Add(1, "meter topic", 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+	srv := NewServer(c)
+
+	reqs := make([]RankRequest, 16)
+	for i := range reqs {
+		reqs[i] = RankRequest{N: 5, Unit: "u1"}
+	}
+	body, _ := json.Marshal(RankBatchRequest{Requests: reqs})
+	if w := do(t, srv, http.MethodPost, "/v1/rank/batch", "application/json", body); w.Code != http.StatusOK {
+		t.Fatalf("batch: %d %s", w.Code, w.Body.String())
+	}
+	if got := srv.rankRequests.Load(); got != uint64(len(reqs)) {
+		t.Fatalf("rank_requests = %d after a %d-request batch, want %d", got, len(reqs), len(reqs))
+	}
+	// One token was spent for the whole batch; the next call (same unit)
+	// must be the one that trips the limiter.
+	if w := do(t, srv, http.MethodPost, "/v1/rank/batch", "application/json", body); w.Code != http.StatusTooManyRequests {
+		t.Fatalf("second batch: %d, want 429 (one token per batch)", w.Code)
+	}
+}
+
+// TestConcurrentAddDenseTableConservation is the dense-table -race
+// stress: concurrent Adds grow the chunk directory while feedback
+// writers mutate slot atomics and rank/Page readers traverse published
+// views. The popularity-conservation assertions from the HTTP stress
+// suite must hold exactly — any lost update or torn slot fails.
+func TestConcurrentAddDenseTableConservation(t *testing.T) {
+	const (
+		basePages  = 32
+		addPages   = 256 // crosses no chunk boundary, but grows seqs well past base
+		writers    = 4
+		rounds     = 30
+		clicksPer  = 2
+		initialPop = 1.0
+	)
+	c := newTestCorpus(t, Config{Shards: 4, Seed: 21, QueueLen: 16})
+	for i := 0; i < basePages; i++ {
+		if err := c.Add(i, fmt.Sprintf("dense topic page%d", i), initialPop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	before := c.Stats()
+
+	var wg sync.WaitGroup
+	// Adders: grow the table concurrently with everything else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < addPages; i++ {
+			if err := c.Add(basePages+i, fmt.Sprintf("dense topic fresh%d", i), 0); err != nil {
+				t.Errorf("add %d: %v", basePages+i, err)
+				return
+			}
+		}
+	}()
+	// Feedback writers: clicks on the stable base pages only, so the
+	// expected totals are exact.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var events []Event
+				for p := w % writers; p < basePages; p += writers {
+					events = append(events, Event{Page: p, Slot: 1 + p%10, Impressions: 1, Clicks: clicksPer})
+				}
+				if err := c.Feedback(events); err != nil {
+					t.Errorf("feedback: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: ranked lists must stay well-formed throughout.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				res, err := c.Rank("dense topic", 20)
+				if err != nil {
+					t.Errorf("rank: %v", err)
+					return
+				}
+				seen := make(map[int]bool, len(res))
+				for _, r := range res {
+					if seen[r.ID] {
+						t.Errorf("page %d served twice in one list", r.ID)
+						return
+					}
+					seen[r.ID] = true
+				}
+				if _, ok := c.Page(g*7 + i%basePages); !ok && g*7+i%basePages < basePages {
+					t.Errorf("base page %d vanished", g*7+i%basePages)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Sync()
+
+	after := c.Stats()
+	if got, want := after.Pages, basePages+addPages; got != want {
+		t.Fatalf("pages = %d, want %d", got, want)
+	}
+	// Each base page gets rounds × clicksPer clicks from exactly one
+	// writer; the fresh pages get none.
+	wantClicks := uint64(basePages * rounds * clicksPer)
+	if got := after.ClicksApplied - before.ClicksApplied; got != wantClicks {
+		t.Fatalf("clicks applied = %d, want %d", got, wantClicks)
+	}
+	gained := after.TotalPopularity - before.TotalPopularity
+	if gained != float64(wantClicks) {
+		t.Fatalf("popularity gained %v, want %v (lost updates)", gained, wantClicks)
+	}
+	for i := 0; i < basePages; i++ {
+		st, ok := c.Page(i)
+		if !ok {
+			t.Fatalf("page %d vanished", i)
+		}
+		if want := initialPop + float64(rounds*clicksPer); st.Popularity != want {
+			t.Fatalf("page %d popularity %v, want %v", i, st.Popularity, want)
+		}
+	}
+	if after.ZeroAware != addPages {
+		t.Fatalf("zero-aware = %d, want the %d unclicked fresh pages", after.ZeroAware, addPages)
+	}
+}

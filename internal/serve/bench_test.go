@@ -197,6 +197,47 @@ func BenchmarkServeRankHTTP(b *testing.B) {
 	})
 }
 
+// BenchmarkServeRankBatch measures the /v1/rank/batch binary path: one
+// varint-framed frame of 32 sub-requests decoded, ranked and re-encoded
+// per op — the amortized per-POST cost the batch wire protocol buys over
+// 32 individual JSON round trips. It reports sub-requests/s alongside
+// ns/op.
+func BenchmarkServeRankBatch(b *testing.B) {
+	c, _ := benchCorpus(b)
+	srv := NewServer(c)
+	const batch = 32
+	reqs := make([]RankRequest, batch)
+	for i := range reqs {
+		seed := uint64(i + 1)
+		reqs[i] = RankRequest{N: 10, Unit: fmt.Sprintf("bench-unit-%d", i&7), Seed: &seed}
+	}
+	body := AppendRankBatchRequest(nil, reqs)
+	// One untimed frame warms the handler's pooled buffers (see warmRank).
+	req := httptest.NewRequest(http.MethodPost, "/v1/rank/batch", bytes.NewReader(body))
+	req.Header.Set("Content-Type", BatchContentType)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("warmup status %d: %s", w.Code, w.Body.String())
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/rank/batch", bytes.NewReader(body))
+			req.Header.Set("Content-Type", BatchContentType)
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*batch/secs, "subreqs/s")
+	}
+}
+
 // BenchmarkServeFeedback measures feedback ingestion throughput through
 // the sharded apply loops, events/op = 64.
 func BenchmarkServeFeedback(b *testing.B) {

@@ -199,8 +199,10 @@ func (sh *shard) restoreSnapshot(snap *store.Snapshot) {
 	sh.appliedLSN.Store(snap.LSN)
 }
 
-// rebuildIndex re-indexes every recovered page in birth order and
-// restores the corpus birth sequence.
+// rebuildIndex re-indexes every recovered page in birth order, restores
+// the id→slot pairings, and advances the corpus birth sequence past the
+// highest slot any shard ever applied — removed pages included, so a
+// restarted process never reuses a tombstoned slot.
 func (c *Corpus) rebuildIndex() error {
 	type docRec struct {
 		id, birth int
@@ -208,20 +210,19 @@ func (c *Corpus) rebuildIndex() error {
 	}
 	var docs []docRec
 	for _, sh := range c.shards {
-		sh.stats.Range(func(_, v any) bool {
-			s := v.(*Stat)
-			docs = append(docs, docRec{id: s.ID, birth: s.Birth, text: sh.texts[s.ID]})
-			return true
-		})
+		for id, seq := range sh.seqOf {
+			docs = append(docs, docRec{id: id, birth: seq, text: sh.texts[id]})
+		}
+		if sh.maxBirth > c.seq {
+			c.seq = sh.maxBirth
+		}
 	}
 	sort.Slice(docs, func(i, j int) bool { return docs[i].birth < docs[j].birth })
 	for _, d := range docs {
-		if err := c.idx.Add(searchidx.Document{ID: d.id, Text: d.text}); err != nil {
+		if err := c.idx.Add(searchidx.Document{ID: d.birth, Text: d.text}); err != nil {
 			return fmt.Errorf("serve: rebuilding index: %w", err)
 		}
-		if d.birth >= c.seq {
-			c.seq = d.birth + 1
-		}
+		c.byID.Store(d.id, int64(d.birth)<<1)
 	}
 	return nil
 }

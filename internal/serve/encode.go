@@ -16,6 +16,13 @@ import (
 // appendRankResponse appends the /rank response body for results to b:
 // the wire form of RankResponse, one object per served slot.
 func appendRankResponse(b []byte, query, arm string, epoch uint64, results []Result) []byte {
+	return append(appendRankBody(b, query, arm, epoch, results), '\n')
+}
+
+// appendRankBody appends one RankResponse object without the trailing
+// newline — the element form the batch endpoint joins into its
+// {"responses":[...]} array.
+func appendRankBody(b []byte, query, arm string, epoch uint64, results []Result) []byte {
 	b = append(b, `{"query":`...)
 	b = appendJSONString(b, query)
 	b = append(b, `,"arm":`...)
@@ -37,7 +44,7 @@ func appendRankResponse(b []byte, query, arm string, epoch uint64, results []Res
 		b = strconv.AppendBool(b, res.Promoted)
 		b = append(b, '}')
 	}
-	return append(b, ']', '}', '\n')
+	return append(b, ']', '}')
 }
 
 // appendFeedbackResponse appends the /feedback response body to b: the

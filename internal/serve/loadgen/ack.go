@@ -33,7 +33,7 @@ func NewAckRecorder(inner http.Handler) *AckRecorder {
 }
 
 func (a *AckRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost || r.URL.Path != "/feedback" {
+	if r.Method != http.MethodPost || (r.URL.Path != "/feedback" && r.URL.Path != "/v1/feedback") {
 		a.inner.ServeHTTP(w, r)
 		return
 	}

@@ -3,14 +3,20 @@
 // optionally split between the id-ranking (browse) path and the
 // search-query path when a mixed workload is configured (Config.Queries).
 //
-// Each simulated user issues POST /rank, scans the returned list with the
-// paper's rank-bias attention law (§5.3: position i draws attention
+// Each simulated user issues POST /v1/rank, scans the returned list with
+// the paper's rank-bias attention law (§5.3: position i draws attention
 // ∝ i^(−3/2)), visits one sampled position, clicks it with probability
 // equal to the page's true quality, and reports slot-level impressions and
-// clicks back through POST /feedback in batches. Run long enough, the
+// clicks back through POST /v1/feedback in batches. Run long enough, the
 // closed loop reproduces the paper's dynamic online: promoted
 // zero-awareness pages of high quality accumulate clicks and rise into
 // the deterministic ranking.
+//
+// Config.Batch switches the driver to the binary batch protocol: each
+// HTTP call carries Batch rank sub-requests framed in the
+// serve.BatchContentType codec on POST /v1/rank/batch — the
+// amortized-framing mode for measuring the service's ranking throughput
+// rather than its HTTP/JSON overhead.
 package loadgen
 
 import (
@@ -74,10 +80,17 @@ type Config struct {
 	Retries int
 	// RetryBackoff is the base backoff before the first retry; each
 	// further attempt doubles it, jittered ±50% (default 20ms). A
-	// Retry-After hint from the service is honored up to 16× this base,
-	// so an adversarial or misconfigured server cannot stall a load run
-	// for minutes.
+	// retry hint from the service (the error envelope's retry_after_ms,
+	// else the Retry-After header) is honored up to 16× this base, so an
+	// adversarial or misconfigured server cannot stall a load run for
+	// minutes.
 	RetryBackoff time.Duration
+	// Batch switches the workers to POST /v1/rank/batch with the binary
+	// codec, carrying this many rank sub-requests per HTTP call (0 or 1
+	// keeps the one-JSON-request-per-call driver). Each sub-request
+	// counts as one completed rank request in the report and contributes
+	// its batch's wall-clock latency as its sample.
+	Batch int
 	// Seed drives the simulated users' randomness.
 	Seed uint64
 }
@@ -187,11 +200,12 @@ func (r *Report) String() string {
 }
 
 type worker struct {
-	cfg     Config
-	idx     int
-	rng     *randutil.RNG
-	att     *attention.Model
-	pending []serve.Event
+	cfg      Config
+	idx      int
+	rng      *randutil.RNG
+	att      *attention.Model
+	pending  []serve.Event
+	batchBuf []byte // reused binary batch request frame
 
 	latencies []time.Duration            // browse-path samples
 	queryLats []time.Duration            // query-path samples
@@ -299,18 +313,12 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 }
 
 func (w *worker) run(requests int) {
+	if w.cfg.Batch > 1 {
+		w.runBatched(requests)
+		return
+	}
 	for i := 0; i < requests; i++ {
-		query, isQuery := w.cfg.Query, false
-		if len(w.cfg.Queries) > 0 && w.rng.Bernoulli(w.cfg.QueryFraction) {
-			query, isQuery = w.cfg.Queries[w.rng.Intn(len(w.cfg.Queries))], true
-		}
-		unit := ""
-		if w.cfg.Units > 0 {
-			// Each worker cycles a stable pool of simulated users, so the
-			// service's deterministic unit bucketing keeps every user on
-			// one arm across the run.
-			unit = fmt.Sprintf("w%d-u%d", w.idx, w.rng.Intn(w.cfg.Units))
-		}
+		query, unit, isQuery := w.draw()
 		items, arm, err := w.rank(query, unit, isQuery)
 		if err != nil {
 			w.report.Errors++
@@ -325,16 +333,75 @@ func (w *worker) run(requests int) {
 	w.flush()
 }
 
+// draw picks the next simulated request: the query path with probability
+// QueryFraction, and a stable simulated-user identity so the service's
+// deterministic unit bucketing keeps every user on one arm across the
+// run.
+func (w *worker) draw() (query, unit string, isQuery bool) {
+	query = w.cfg.Query
+	if len(w.cfg.Queries) > 0 && w.rng.Bernoulli(w.cfg.QueryFraction) {
+		query, isQuery = w.cfg.Queries[w.rng.Intn(len(w.cfg.Queries))], true
+	}
+	if w.cfg.Units > 0 {
+		unit = fmt.Sprintf("w%d-u%d", w.idx, w.rng.Intn(w.cfg.Units))
+	}
+	return query, unit, isQuery
+}
+
+// runBatched is the binary batch driver: the worker's request budget is
+// consumed Batch sub-requests per HTTP call against /v1/rank/batch.
+func (w *worker) runBatched(requests int) {
+	reqs := make([]serve.RankRequest, 0, w.cfg.Batch)
+	isQuery := make([]bool, 0, w.cfg.Batch)
+	for done := 0; done < requests; {
+		n := min(w.cfg.Batch, requests-done)
+		reqs, isQuery = reqs[:0], isQuery[:0]
+		for i := 0; i < n; i++ {
+			query, unit, q := w.draw()
+			reqs = append(reqs, serve.RankRequest{Query: query, N: w.cfg.N, Unit: unit})
+			isQuery = append(isQuery, q)
+		}
+		done += n
+		if err := w.rankBatch(reqs, isQuery); err != nil {
+			// The whole batch failed together; each sub-request is one
+			// error, mirroring the per-request driver's accounting.
+			w.report.Errors += n
+			continue
+		}
+		if len(w.pending) >= w.cfg.FeedbackBatch {
+			w.flush()
+		}
+	}
+	w.flush()
+}
+
+// retryHint extracts the service's backoff hint from a refused
+// response: the /v1 error envelope's retry_after_ms when the body
+// carries one, falling back to the Retry-After header (whole seconds,
+// the only form the legacy surface emitted).
+func retryHint(resp *http.Response, body []byte) time.Duration {
+	var env serve.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.RetryAfterMS > 0 {
+		return time.Duration(env.Error.RetryAfterMS) * time.Millisecond
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
 // post issues one POST with retries: a transport failure, 429 or 503 is
 // retried up to cfg.Retries times with jittered exponential backoff,
-// honoring (clamped) Retry-After hints. Backoff time is accounted
-// separately from request latency, which callers measure per attempt.
-// The returned response (when non-nil) has status 2xx and an open body
-// the caller must close.
-func (w *worker) post(path string, body []byte) (*http.Response, error) {
+// honoring (clamped) retry hints from the error envelope or Retry-After
+// header. Backoff time is accounted separately from request latency,
+// which callers measure per attempt. The returned response (when
+// non-nil) has status 2xx and an open body the caller must close.
+func (w *worker) post(path, contentType string, body []byte) (*http.Response, error) {
 	backoff := w.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		resp, err := w.cfg.Client.Post(w.cfg.BaseURL+path, "application/json", bytes.NewReader(body))
+		resp, err := w.cfg.Client.Post(w.cfg.BaseURL+path, contentType, bytes.NewReader(body))
 		retryAfter := time.Duration(0)
 		if err == nil {
 			switch resp.StatusCode {
@@ -344,13 +411,10 @@ func (w *worker) post(path string, body []byte) (*http.Response, error) {
 				} else {
 					w.report.Unavailable503++
 				}
-				if s := resp.Header.Get("Retry-After"); s != "" {
-					if secs, perr := strconv.Atoi(s); perr == nil {
-						retryAfter = time.Duration(secs) * time.Second
-					}
-				}
+				envelope, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				retryAfter = retryHint(resp, envelope)
 				err = fmt.Errorf("loadgen: %s status %d", path, resp.StatusCode)
 			default:
 				return resp, nil
@@ -380,14 +444,14 @@ func (w *worker) rank(query, unit string, isQuery bool) ([]serve.RankedItem, str
 	}
 	start := time.Now()
 	backoffBefore := w.report.BackoffTime
-	resp, err := w.post("/rank", body)
+	resp, err := w.post("/v1/rank", "application/json", body)
 	if err != nil {
 		return nil, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil, "", fmt.Errorf("loadgen: /rank status %d", resp.StatusCode)
+		return nil, "", fmt.Errorf("loadgen: /v1/rank status %d", resp.StatusCode)
 	}
 	var rr serve.RankResponse
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
@@ -408,6 +472,53 @@ func (w *worker) rank(query, unit string, isQuery bool) ([]serve.RankedItem, str
 	}
 	w.armLats[rr.Arm] = append(w.armLats[rr.Arm], lat)
 	return rr.Results, rr.Arm, nil
+}
+
+// rankBatch issues one binary-framed batch call and feeds every
+// sub-response through the same observation loop as the per-request
+// driver. The batch's wall-clock latency (minus retry backoff) is
+// recorded once per sub-request, so percentiles stay comparable across
+// driver modes at equal batch cost.
+func (w *worker) rankBatch(reqs []serve.RankRequest, isQuery []bool) error {
+	body := serve.AppendRankBatchRequest(w.batchBuf[:0], reqs)
+	w.batchBuf = body
+	start := time.Now()
+	backoffBefore := w.report.BackoffTime
+	resp, err := w.post("/v1/rank/batch", serve.BatchContentType, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("loadgen: /v1/rank/batch status %d", resp.StatusCode)
+	}
+	frame, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	resps, err := serve.DecodeRankBatchResponse(frame)
+	if err != nil {
+		return err
+	}
+	if len(resps) != len(reqs) {
+		return fmt.Errorf("loadgen: batch returned %d responses for %d requests", len(resps), len(reqs))
+	}
+	lat := time.Since(start) - (w.report.BackoffTime - backoffBefore)
+	if lat < 0 {
+		lat = 0
+	}
+	for i, rr := range resps {
+		w.report.Requests++
+		if isQuery[i] {
+			w.queryLats = append(w.queryLats, lat)
+		} else {
+			w.latencies = append(w.latencies, lat)
+		}
+		w.armLats[rr.Arm] = append(w.armLats[rr.Arm], lat)
+		w.observe(rr.Results, rr.Arm, reqs[i].Unit)
+	}
+	return nil
 }
 
 // observe simulates one user on one result list: every served slot is an
@@ -446,7 +557,7 @@ func (w *worker) flush() {
 	// failure) with backoff: under a flash crowd the events eventually
 	// land — or the run honestly reports them as errors, never as
 	// silently dropped acks.
-	resp, err := w.post("/feedback", body)
+	resp, err := w.post("/v1/feedback", "application/json", body)
 	if err != nil {
 		w.report.Errors++
 		return

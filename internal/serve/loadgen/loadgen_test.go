@@ -485,3 +485,139 @@ func TestReplayReproducesLoadgenScorecard(t *testing.T) {
 		t.Fatalf("counterfactual must reject promotion-earned clicks: %+v", ex)
 	}
 }
+
+// TestBatchedRunMatchesAccounting drives the binary batch protocol end
+// to end over HTTP: the same request budget consumed 25 sub-requests
+// per POST must complete every request, conserve the feedback ledger,
+// and report per-arm latencies exactly like the single-request driver.
+func TestBatchedRunMatchesAccounting(t *testing.T) {
+	c, err := serve.NewCorpus(serve.Config{
+		Shards: 4,
+		Seed:   17,
+		Arms: []serve.Arm{
+			{Name: "control", Policy: policy.Spec{Rule: policy.RuleDeterministic}, Weight: 1},
+			{Name: "treatment", Policy: policy.Spec{Rule: policy.RuleSelective, K: 1, R: 0.25}, Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 30; i++ {
+		if err := c.Add(i, fmt.Sprintf("gadgets review page%d", i), float64(30-i)*0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Add(999, "gadgets review hidden gem", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+
+	srv := httptest.NewServer(serve.NewServer(c))
+	defer srv.Close()
+
+	report, err := Run(Config{
+		BaseURL:  srv.URL,
+		Workers:  4,
+		Requests: 1000, // not a multiple of Batch: the tail chunk is short
+		N:        15,
+		Units:    32,
+		Seed:     9,
+		Batch:    25,
+		Queries:  []string{"gadgets review"},
+		Quality: func(id int) float64 {
+			if id == 999 {
+				return 0.9
+			}
+			return 0.02
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("batched run had %d errors: %v", report.Errors, report)
+	}
+	if report.Requests != 1000 {
+		t.Fatalf("completed %d sub-requests, want 1000", report.Requests)
+	}
+	if report.Clicks == 0 || report.Impressions == 0 {
+		t.Fatalf("no feedback generated: %v", report)
+	}
+	if report.P50 <= 0 || report.P99 < report.P50 || report.QPS <= 0 {
+		t.Fatalf("implausible latency report: %v", report)
+	}
+	armRequests := 0
+	for name, pr := range report.Arms {
+		if pr.Requests == 0 {
+			t.Fatalf("arm %q received no sub-requests", name)
+		}
+		armRequests += pr.Requests
+	}
+	if armRequests != report.Requests {
+		t.Fatalf("arm sub-requests %d != total %d", armRequests, report.Requests)
+	}
+	c.Sync()
+	st := c.Stats()
+	if st.ClicksApplied != uint64(report.Clicks) {
+		t.Fatalf("clicks applied %d != clicks sent %d", st.ClicksApplied, report.Clicks)
+	}
+	if st.ImpressionsApplied != uint64(report.Impressions) {
+		t.Fatalf("impressions applied %d != impressions sent %d", st.ImpressionsApplied, report.Impressions)
+	}
+}
+
+// TestBatchedRunThroughputMultiple pins the wire protocol's reason to
+// exist: the same budget of rank requests pushed through
+// /v1/rank/batch must finish far faster than one HTTP round trip per
+// request. The acceptance bar is 10x; the assertion keeps headroom for
+// noisy CI machines and logs the measured multiple.
+func TestBatchedRunThroughputMultiple(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison is wall-clock bound")
+	}
+	c, err := serve.NewCorpus(serve.Config{Shards: 4, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if err := c.Add(i, fmt.Sprintf("gadgets review page%d", i), float64(50-i)*0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	srv := httptest.NewServer(serve.NewServer(c))
+	defer srv.Close()
+
+	run := func(batch int) *Report {
+		t.Helper()
+		report, err := Run(Config{
+			BaseURL:  srv.URL,
+			Workers:  2,
+			Requests: 4000,
+			// Top-1 keeps the shared feedback stream (one event per
+			// request) negligible, so the comparison measures the rank
+			// endpoint round trips the batch protocol amortizes.
+			N:       1,
+			Seed:    7,
+			Batch:   batch,
+			Queries: []string{"gadgets review"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Errors != 0 {
+			t.Fatalf("batch=%d run had %d errors", batch, report.Errors)
+		}
+		return report
+	}
+	single := run(0)
+	batched := run(64)
+	multiple := batched.QPS / single.QPS
+	t.Logf("single %.0f qps, batched %.0f qps: %.1fx", single.QPS, batched.QPS, multiple)
+	if multiple < 4 {
+		t.Fatalf("batched throughput only %.1fx single-request (%.0f vs %.0f qps)",
+			multiple, batched.QPS, single.QPS)
+	}
+}

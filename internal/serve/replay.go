@@ -190,11 +190,12 @@ func Replay(dataDir string, overrides map[string]string) (*ReplayReport, error) 
 	// One event-sourced state per shard, sharing the population counters
 	// the state-dependent policies read.
 	var pages, zeroAware atomic.Int64
+	table := newPageTable()
 	states := make([]*shardState, meta.Shards)
 	h := make(recHeap, 0, meta.Shards)
 	for i := range states {
 		states[i] = &shardState{}
-		states[i].init(1, false, &pages, &zeroAware)
+		states[i].init(1, false, &pages, &zeroAware, table)
 		sh := st.Shard(i)
 		snap, err := sh.LatestSnapshot()
 		if err != nil {
@@ -279,7 +280,7 @@ func scoreEvent(state *shardState, arms map[string]*replayArm, e Event, nanos in
 	// as it stood?
 	eligible := true
 	if arm != nil && e.Clicks > 0 {
-		if v, ok := state.stats.Load(e.Page); ok && !v.(*Stat).Aware {
+		if exists, aware := state.awareOf(e.Page); exists && !aware {
 			// Only a promotion can place an unexplored page in a result
 			// list: the evaluated policy must pool it (selective variants
 			// pool all zero-awareness pages, uniform pools by coin), must

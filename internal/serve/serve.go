@@ -40,6 +40,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,7 +84,64 @@ func (sc *slotCounters) record(e Event) {
 	sc.clk[slot-1].Add(uint64(e.Clicks))
 }
 
-// Config sizes a Corpus. The zero value of every field selects a default.
+// Limits groups the admission-control and overload knobs: rate
+// limiting, click-provenance defenses, and degraded-mode behavior.
+type Limits struct {
+	// RateLimitRPS enables per-client token-bucket rate limiting on the
+	// HTTP front end at this many requests per second per client (the
+	// experiment unit when the request carries one, else the remote IP).
+	// 0 disables rate limiting.
+	RateLimitRPS float64
+	// RateLimitBurst is the token-bucket burst size (default 1 when
+	// rate limiting is enabled).
+	RateLimitBurst int
+	// Provenance configures click-provenance defenses on the feedback
+	// admission path (see ProvenanceConfig). The zero value disables
+	// them.
+	Provenance ProvenanceConfig
+	// DegradedHold is how long the corpus stays in degraded
+	// (stale-serving, rebuild-shedding) mode after an overload signal
+	// (default DefaultDegradedHold; negative disables degraded mode).
+	DegradedHold time.Duration
+}
+
+// Durability groups the persistence knobs: the data directory, snapshot
+// cadence, fsync policy and log retention. The zero value keeps the
+// corpus in-memory only.
+type Durability struct {
+	// DataDir enables durability: every shard mutation is written to a
+	// per-shard write-ahead log before it is applied, periodic snapshots
+	// bound recovery time, and NewCorpus recovers the previous state from
+	// the directory at boot. Empty keeps the corpus in-memory only (the
+	// draw-for-draw identical legacy path the golden tests pin).
+	DataDir string
+	// SnapshotInterval is how often each shard persists a state snapshot
+	// and truncates its log (checked at batch boundaries; 0 selects the
+	// 30s default, negative disables periodic snapshots). A final
+	// snapshot is always written on clean Close. Ignored without DataDir.
+	SnapshotInterval time.Duration
+	// FsyncMode selects the WAL durability mode: "batch" (default; one
+	// fsync per group-committed feedback batch), "always", or "none"
+	// (OS writeback). Ignored without DataDir.
+	FsyncMode string
+	// KeepLog retains the full WAL history behind snapshots instead of
+	// truncating it — required for offline counterfactual replay
+	// (shuffledeck replay) over the complete event stream. Ignored
+	// without DataDir.
+	KeepLog bool
+	// FaultInjector, when non-nil, routes the WAL's and the snapshot
+	// writer's file writes and fsyncs through the fault injector — the
+	// hook chaos scenarios and fault tests use to force short writes,
+	// fsync errors, disk-full and latency spikes. Ignored without
+	// DataDir.
+	FaultInjector *faultfs.Injector
+}
+
+// Config sizes a Corpus. The zero value of every field selects a
+// default. Admission and persistence knobs live in the Limits and
+// Durability groups; the matching flat fields remain as deprecated
+// passthroughs for one release (a set grouped field wins over its flat
+// twin).
 type Config struct {
 	// Shards is the number of popularity shards (default 4).
 	Shards int
@@ -115,52 +173,96 @@ type Config struct {
 	// Seed drives all service randomness (per-request merge RNGs, pool
 	// sampling). Zero means seed 1.
 	Seed uint64
-	// DataDir enables durability: every shard mutation is written to a
-	// per-shard write-ahead log before it is applied, periodic snapshots
-	// bound recovery time, and NewCorpus recovers the previous state from
-	// the directory at boot. Empty keeps the corpus in-memory only (the
-	// draw-for-draw identical legacy path the golden tests pin).
+
+	// Limits groups the admission-control knobs; Durability groups the
+	// persistence knobs. Prefer these over the flat twins below.
+	Limits     Limits
+	Durability Durability
+
+	// DataDir enables durability from the given directory.
+	//
+	// Deprecated: set Durability.DataDir instead.
 	DataDir string
-	// SnapshotInterval is how often each shard persists a state snapshot
-	// and truncates its log (checked at batch boundaries; 0 selects the
-	// 30s default, negative disables periodic snapshots). A final
-	// snapshot is always written on clean Close. Ignored without DataDir.
+	// SnapshotInterval is the per-shard snapshot cadence.
+	//
+	// Deprecated: set Durability.SnapshotInterval instead.
 	SnapshotInterval time.Duration
-	// FsyncMode selects the WAL durability mode: "batch" (default; one
-	// fsync per group-committed feedback batch), "always", or "none"
-	// (OS writeback). Ignored without DataDir.
+	// FsyncMode selects the WAL durability mode.
+	//
+	// Deprecated: set Durability.FsyncMode instead.
 	FsyncMode string
-	// KeepLog retains the full WAL history behind snapshots instead of
-	// truncating it — required for offline counterfactual replay
-	// (shuffledeck replay) over the complete event stream. Ignored
-	// without DataDir.
+	// KeepLog retains the full WAL history behind snapshots.
+	//
+	// Deprecated: set Durability.KeepLog instead.
 	KeepLog bool
 	// walSegmentBytes overrides the WAL segment rotation size so tests
 	// can exercise multi-segment truncation without megabytes of
 	// traffic; 0 selects the wal package default.
 	walSegmentBytes int64
-	// RateLimitRPS enables per-client token-bucket rate limiting on the
-	// HTTP front end at this many requests per second per client (the
-	// experiment unit when the request carries one, else the remote IP).
-	// 0 disables rate limiting.
+	// RateLimitRPS enables per-client rate limiting.
+	//
+	// Deprecated: set Limits.RateLimitRPS instead.
 	RateLimitRPS float64
-	// RateLimitBurst is the token-bucket burst size (default 1 when
-	// rate limiting is enabled).
+	// RateLimitBurst is the token-bucket burst size.
+	//
+	// Deprecated: set Limits.RateLimitBurst instead.
 	RateLimitBurst int
-	// Provenance configures click-provenance defenses on the feedback
-	// admission path (see ProvenanceConfig). The zero value disables
-	// them.
+	// Provenance configures click-provenance defenses.
+	//
+	// Deprecated: set Limits.Provenance instead.
 	Provenance ProvenanceConfig
-	// DegradedHold is how long the corpus stays in degraded
-	// (stale-serving, rebuild-shedding) mode after an overload signal
-	// (default DefaultDegradedHold; negative disables degraded mode).
+	// DegradedHold is the degraded-mode hold window.
+	//
+	// Deprecated: set Limits.DegradedHold instead.
 	DegradedHold time.Duration
-	// FaultInjector, when non-nil, routes the WAL's and the snapshot
-	// writer's file writes and fsyncs through the fault injector — the
-	// hook chaos scenarios and fault tests use to force short writes,
-	// fsync errors, disk-full and latency spikes. Ignored without
-	// DataDir.
+	// FaultInjector routes WAL and snapshot I/O through a fault injector.
+	//
+	// Deprecated: set Durability.FaultInjector instead.
 	FaultInjector *faultfs.Injector
+}
+
+// normalized merges each grouped Limits/Durability field with its
+// deprecated flat twin — the grouped field wins when set — and mirrors
+// the result into BOTH forms, so internal readers (which use the flat
+// fields) and old callers observe the same effective configuration.
+func (c Config) normalized() Config {
+	if c.Limits.RateLimitRPS == 0 {
+		c.Limits.RateLimitRPS = c.RateLimitRPS
+	}
+	if c.Limits.RateLimitBurst == 0 {
+		c.Limits.RateLimitBurst = c.RateLimitBurst
+	}
+	if c.Limits.Provenance == (ProvenanceConfig{}) {
+		c.Limits.Provenance = c.Provenance
+	}
+	if c.Limits.DegradedHold == 0 {
+		c.Limits.DegradedHold = c.DegradedHold
+	}
+	if c.Durability.DataDir == "" {
+		c.Durability.DataDir = c.DataDir
+	}
+	if c.Durability.SnapshotInterval == 0 {
+		c.Durability.SnapshotInterval = c.SnapshotInterval
+	}
+	if c.Durability.FsyncMode == "" {
+		c.Durability.FsyncMode = c.FsyncMode
+	}
+	if !c.Durability.KeepLog {
+		c.Durability.KeepLog = c.KeepLog
+	}
+	if c.Durability.FaultInjector == nil {
+		c.Durability.FaultInjector = c.FaultInjector
+	}
+	c.RateLimitRPS = c.Limits.RateLimitRPS
+	c.RateLimitBurst = c.Limits.RateLimitBurst
+	c.Provenance = c.Limits.Provenance
+	c.DegradedHold = c.Limits.DegradedHold
+	c.DataDir = c.Durability.DataDir
+	c.SnapshotInterval = c.Durability.SnapshotInterval
+	c.FsyncMode = c.Durability.FsyncMode
+	c.KeepLog = c.Durability.KeepLog
+	c.FaultInjector = c.Durability.FaultInjector
+	return c
 }
 
 // Validate reports the first problem with the configuration, or nil.
@@ -170,6 +272,7 @@ type Config struct {
 // Arms are declared, Policy is ignored (the arms carry the policies), so
 // it is not checked.
 func (c Config) Validate() error {
+	c = c.normalized()
 	switch {
 	case c.Shards < 0:
 		return fmt.Errorf("serve: Shards must be >= 0 (0 = default), got %d", c.Shards)
@@ -198,6 +301,7 @@ func (c Config) Validate() error {
 }
 
 func (c Config) withDefaults() Config {
+	c = c.normalized()
 	if c.Shards <= 0 {
 		c.Shards = 4
 	}
@@ -330,7 +434,9 @@ type applyReq struct {
 	done     chan error
 }
 
-// snapshot is a shard's immutable published view.
+// snapshot is a shard's immutable published view. pool carries birth
+// sequences (dense table slots), the id space the whole candidate
+// pipeline flows in.
 type snapshot struct {
 	epoch uint64
 	top   []rankengine.Entry // deterministic top-K, best rank first
@@ -372,10 +478,10 @@ type shard struct {
 	slots slotCounters
 
 	// Durability (nil/zero when the corpus is in-memory):
-	st     *store.Shard
-	killed *atomic.Bool // corpus-wide crash-simulation flag
-	encBuf []byte       // record encode scratch
-	reqBuf []applyReq   // group-commit drain scratch
+	st       *store.Shard
+	killed   *atomic.Bool // corpus-wide crash-simulation flag
+	recStart int          // in-place record payload start (mustBegin/mustEnd)
+	reqBuf   []applyReq   // group-commit drain scratch
 	// pending retains additions and removals from a batch whose WAL
 	// commit failed: their index-side effects already happened (the
 	// document is in/out of the search index), so they must eventually
@@ -420,9 +526,16 @@ type Corpus struct {
 	pages     atomic.Int64
 	zeroAware atomic.Int64
 
+	// table is the dense page-stat array every shard writes its slots
+	// into; byID maps page id -> encoded birth sequence (seq<<1, low bit
+	// set once the page was removed) for the cold by-id read paths.
+	// byID is written only under idxMu; reads are lock-free.
+	table *pageTable
+	byID  sync.Map // int -> int64
+
 	idxMu sync.Mutex // serializes Add's index insert + birth-seq pairing
 	idx   *searchidx.Index
-	seq   int // birth sequence, guarded by idxMu
+	seq   int // birth sequence = next dense slot, guarded by idxMu
 
 	qcache      *queryCache // nil when disabled
 	cacheHits   atomic.Uint64
@@ -456,7 +569,7 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), arms: arms, durable: cfg.DataDir != ""}
+	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), arms: arms, durable: cfg.DataDir != "", table: newPageTable()}
 	c.armIdx = make(map[string]*armState, len(arms))
 	for _, a := range arms {
 		c.armIdx[a.name] = a
@@ -491,7 +604,7 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 			ch:       make(chan applyReq, cfg.QueueLen),
 			rng:      randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
 		}
-		sh.shardState.init(cfg.Seed+uint64(i)*2654435761, c.durable, &c.pages, &c.zeroAware)
+		sh.shardState.init(cfg.Seed+uint64(i)*2654435761, c.durable, &c.pages, &c.zeroAware, c.table)
 		if c.durable {
 			sh.st = c.st.Shard(i)
 			sh.killed = &c.killed
@@ -542,21 +655,27 @@ func (c *Corpus) shardFor(id int) *shard {
 // popularity zero starts in the zero-awareness promotion pool; positive
 // popularity marks it already explored. The page becomes servable once
 // its shard applies the addition (Sync forces that).
+//
+// The search index keys the document by its birth sequence — the page's
+// dense stat slot — so query retrieval streams slot indexes directly;
+// byID records the pairing for the by-id read paths.
 func (c *Corpus) Add(id int, text string, popularity float64) error {
 	if popularity < 0 {
 		return fmt.Errorf("serve: negative popularity %v for page %d", popularity, id)
 	}
 	c.idxMu.Lock()
-	err := c.idx.Add(searchidx.Document{ID: id, Text: text})
-	var birth int
-	if err == nil {
-		birth = c.seq
-		c.seq++
+	if v, ok := c.byID.Load(id); ok && v.(int64)&1 == 0 {
+		c.idxMu.Unlock()
+		return fmt.Errorf("serve: page %d already indexed", id)
 	}
+	birth := c.seq
+	if err := c.idx.Add(searchidx.Document{ID: birth, Text: text}); err != nil {
+		c.idxMu.Unlock()
+		return fmt.Errorf("serve: page %d: %w", id, err)
+	}
+	c.seq++
+	c.byID.Store(id, int64(birth)<<1)
 	c.idxMu.Unlock()
-	if err != nil {
-		return err
-	}
 	c.shardFor(id).ch <- applyReq{add: []AddRecord{{ID: id, Text: text, Popularity: popularity, Birth: birth}}}
 	return nil
 }
@@ -642,11 +761,31 @@ func (c *Corpus) feedback(events []Event, admission bool) error {
 	return err
 }
 
+// liveSlot resolves a page id to its live table slot and birth
+// sequence, lock-free; slot is nil when the page is unknown, removed,
+// or its addition has not applied yet.
+func (c *Corpus) liveSlot(id int) (*pageSlot, int) {
+	v, ok := c.byID.Load(id)
+	if !ok {
+		return nil, 0
+	}
+	enc := v.(int64)
+	if enc&1 != 0 {
+		return nil, 0
+	}
+	seq := int(enc >> 1)
+	slot := slotAt(c.table.view(), seq)
+	if slot == nil || !liveMeta(slot.meta.Load()) {
+		return nil, 0
+	}
+	return slot, seq
+}
+
 // pageAware reports whether the page exists and has been promoted out
 // of the zero-awareness pool, read lock-free.
 func (c *Corpus) pageAware(id int) (exists, aware bool) {
-	if v, ok := c.shardFor(id).stats.Load(id); ok {
-		return true, v.(*Stat).Aware
+	if slot, _ := c.liveSlot(id); slot != nil {
+		return true, slot.meta.Load()&slotAware != 0
 	}
 	return false, false
 }
@@ -657,11 +796,14 @@ func (c *Corpus) pageAware(id int) (exists, aware bool) {
 // every other mutation. Returns false when the page is not indexed.
 func (c *Corpus) Remove(id int) bool {
 	c.idxMu.Lock()
-	ok := c.idx.Delete(id)
-	c.idxMu.Unlock()
-	if !ok {
+	v, ok := c.byID.Load(id)
+	if !ok || v.(int64)&1 != 0 {
+		c.idxMu.Unlock()
 		return false
 	}
+	c.idx.Delete(int(v.(int64) >> 1))
+	c.byID.Store(id, v.(int64)|1)
+	c.idxMu.Unlock()
 	c.shardFor(id).ch <- applyReq{remove: []int{id}}
 	return true
 }
@@ -717,14 +859,16 @@ func (c *Corpus) Kill() {
 
 // Page returns a page's current serving state.
 func (c *Corpus) Page(id int) (Stat, bool) {
-	if v, ok := c.shardFor(id).stats.Load(id); ok {
-		return *v.(*Stat), true
+	if slot, seq := c.liveSlot(id); slot != nil {
+		s := slot.stat(seq)
+		s.ID = id
+		return s, true
 	}
 	return Stat{}, false
 }
 
-// Stats aggregates corpus-wide accounting. It walks the per-page stat
-// maps, so it is O(pages) — telemetry, not a hot path.
+// Stats aggregates corpus-wide accounting. It scans the dense page
+// table, so it is O(slots) — telemetry, not a hot path.
 func (c *Corpus) Stats() Stats {
 	var s Stats
 	s.Arms = c.Arms()
@@ -748,17 +892,22 @@ func (c *Corpus) Stats() Stats {
 		s.ClicksApplied += sh.clicks.Load()
 		s.Dropped += sh.dropped.Load()
 		s.WALFailures += sh.walFailures.Load()
-		sh.stats.Range(func(_, v any) bool {
-			st := v.(*Stat)
+	}
+	for _, chunk := range c.table.view() {
+		for i := range chunk {
+			slot := &chunk[i]
+			m := slot.meta.Load()
+			if !liveMeta(m) {
+				continue
+			}
 			s.Pages++
-			s.TotalPopularity += st.Popularity
-			if st.Aware {
+			s.TotalPopularity += math.Float64frombits(slot.pop.Load())
+			if m&slotAware != 0 {
 				s.Aware++
 			} else {
 				s.ZeroAware++
 			}
-			return true
-		})
+		}
 	}
 	return s
 }
@@ -800,7 +949,7 @@ type reqScratch struct {
 	ids     []int
 	poolAll []int
 	u32     []uint32
-	cand    []Stat
+	cand    []candRef
 	heads   []int
 	snaps   []*snapshot
 }
@@ -886,10 +1035,15 @@ func (c *Corpus) rank(arm *armState, query string, n int, rng *randutil.RNG, rs 
 	} else {
 		dst = dst[:0]
 	}
-	for i, id := range merged {
-		res := Result{ID: id, Promoted: fromPool[i]}
-		if v, ok := c.shardFor(id).stats.Load(id); ok {
-			res.Popularity = v.(*Stat).Popularity
+	// The pipeline flows in slot space (birth sequences); the dense table
+	// converts each merged slot back to its page id and popularity with
+	// two direct loads.
+	view := c.table.view()
+	for i, seq := range merged {
+		res := Result{Promoted: fromPool[i]}
+		if slot := slotAt(view, seq); slot != nil {
+			res.ID = int(slot.id.Load())
+			res.Popularity = math.Float64frombits(slot.pop.Load())
 		}
 		dst = append(dst, res)
 	}
@@ -942,12 +1096,14 @@ func (c *Corpus) loadSnapshots(rs *reqScratch) []*snapshot {
 // top-lists (stopping once n det entries are in hand — promotion can only
 // shorten the deterministic need) and the concatenated zero-awareness
 // samples, split per the arm policy's selection rule at degree of
-// randomization r. Entirely lock-free.
+// randomization r. Entirely lock-free. Candidates are birth sequences
+// (Entry.BirthDay is exactly the page's dense slot); the result
+// assembly converts back to page ids.
 func (c *Corpus) browseCandidates(sel policy.Selection, r float64, n int, det, pool []int, rng *randutil.RNG, rs *reqScratch) (detOut, poolOut []int) {
 	snaps := c.loadSnapshots(rs)
 	appendRanked := func(dst []int, limit int) []int {
 		mergeSnapshotTops(snaps, rs.heads, func(e rankengine.Entry) bool {
-			dst = append(dst, e.ID)
+			dst = append(dst, e.BirthDay)
 			return len(dst) < limit
 		})
 		return dst
@@ -991,34 +1147,38 @@ func (c *Corpus) browseCandidates(sel policy.Selection, r float64, n int, det, p
 	return det, pool
 }
 
-// statLess orders page stats by rank: higher popularity first, then
-// older (smaller Birth), then smaller ID — the same total order the
-// shard treaps maintain.
-func statLess(a, b Stat) bool {
-	if a.Popularity != b.Popularity {
-		return a.Popularity > b.Popularity
+// candRef is one candidate in the query scan's bounded top-n heap: its
+// popularity and its dense slot (= birth sequence). candLess is the
+// same total order the shard treaps maintain — higher popularity first,
+// then older (smaller birth); birth sequences are unique, so the old
+// id tie-break is unreachable.
+type candRef struct {
+	pop float64
+	seq int
+}
+
+func candLess(a, b candRef) bool {
+	if a.pop != b.pop {
+		return a.pop > b.pop
 	}
-	if a.Birth != b.Birth {
-		return a.Birth < b.Birth
-	}
-	return a.ID < b.ID
+	return a.seq < b.seq
 }
 
 // heapPush and heapFix maintain best as a bounded binary heap with the
-// worst-ranked kept stat at the root (index 0), so selecting the
+// worst-ranked kept candidate at the root (index 0), so selecting the
 // servable top-n from m matches is a true O(m log n) — comparisons and
 // element moves both — regardless of arrival order. The heap is
 // rank-sorted only once, after the scan.
 
-// heapPush appends st and sifts it up.
-func heapPush(best []Stat, st Stat) []Stat {
-	best = append(best, st)
+// heapPush appends cr and sifts it up.
+func heapPush(best []candRef, cr candRef) []candRef {
+	best = append(best, cr)
 	i := len(best) - 1
 	for i > 0 {
 		p := (i - 1) / 2
 		// The parent must not rank better than its children (worst at
 		// the root).
-		if !statLess(best[p], best[i]) {
+		if !candLess(best[p], best[i]) {
 			break
 		}
 		best[p], best[i] = best[i], best[p]
@@ -1028,14 +1188,14 @@ func heapPush(best []Stat, st Stat) []Stat {
 }
 
 // heapFix restores the invariant after best[0] was replaced.
-func heapFix(best []Stat) {
+func heapFix(best []candRef) {
 	i := 0
 	for {
 		worst, l, r := i, 2*i+1, 2*i+2
-		if l < len(best) && statLess(best[worst], best[l]) {
+		if l < len(best) && candLess(best[worst], best[l]) {
 			worst = l
 		}
-		if r < len(best) && statLess(best[worst], best[r]) {
+		if r < len(best) && candLess(best[worst], best[r]) {
 			worst = r
 		}
 		if worst == i {
@@ -1073,7 +1233,7 @@ func reservoirInto(pool, all []int, poolCap int, rng *randutil.RNG) []int {
 // heapFix) into rank order, best first, in place: repeatedly swap the
 // worst to the end and re-fix the shrunken heap. Replaces sort.Slice,
 // which boxes its arguments and allocates per call.
-func heapSort(best []Stat) {
+func heapSort(best []candRef) {
 	for m := len(best) - 1; m > 0; m-- {
 		best[0], best[m] = best[m], best[0]
 		heapFix(best[:m])
@@ -1132,56 +1292,69 @@ func (c *Corpus) queryCandidates(arm *armState, r float64, query string, n int, 
 	// changes mid-build, the stored entry is already stale and the next
 	// request rebuilds instead of reusing a torn view.
 	idxEpoch, srvEpoch := snap.Epoch(), c.Epoch()
-	ids := snap.RetrieveInto(rs.u32[:0], query)
-	rs.u32 = ids
-	if len(ids) == 0 {
+	seqs := snap.RetrieveInto(rs.u32[:0], query)
+	rs.u32 = seqs
+	if len(seqs) == 0 {
 		return det, pool
 	}
+	// The postings stream IS the slot stream: each retrieved document id
+	// is the page's birth sequence, so a candidate's stats are two direct
+	// loads from the dense table — no map lookups, no pointer chasing.
+	view := c.table.view()
 	best := rs.cand[:0]
 	poolAll := rs.poolAll[:0]
 	if sel == policy.SelectCoin {
 		poolSeen := 0
-		for _, id32 := range ids {
-			id := int(id32)
-			v, ok := c.shardFor(id).stats.Load(id)
-			if !ok {
+		for _, seq32 := range seqs {
+			seq := int(seq32)
+			slot := slotAt(view, seq)
+			if slot == nil {
 				continue
 			}
-			st := *v.(*Stat)
+			m := slot.meta.Load()
+			if !liveMeta(m) {
+				continue
+			}
 			switch {
 			case rng.Bernoulli(r):
 				// Algorithm R, interleaved with the coin flips exactly as
 				// the candidates stream by.
 				poolSeen++
 				if len(pool) < poolCap {
-					pool = append(pool, st.ID)
+					pool = append(pool, seq)
 				} else if j := rng.Intn(poolSeen); j < poolCap {
-					pool[j] = st.ID
+					pool[j] = seq
 				}
 			case len(best) < n:
-				best = heapPush(best, st)
-			case statLess(st, best[0]):
-				best[0] = st
-				heapFix(best)
+				best = heapPush(best, candRef{pop: math.Float64frombits(slot.pop.Load()), seq: seq})
+			default:
+				if cr := (candRef{pop: math.Float64frombits(slot.pop.Load()), seq: seq}); candLess(cr, best[0]) {
+					best[0] = cr
+					heapFix(best)
+				}
 			}
 		}
 	} else {
-		for _, id32 := range ids {
-			id := int(id32)
-			v, ok := c.shardFor(id).stats.Load(id)
-			if !ok {
+		for _, seq32 := range seqs {
+			seq := int(seq32)
+			slot := slotAt(view, seq)
+			if slot == nil {
 				continue
 			}
-			// Stat values are immutable once stored, so the scan can work
-			// through the pointer and copy only the candidates it keeps.
-			st := v.(*Stat)
+			m := slot.meta.Load()
+			if !liveMeta(m) {
+				continue
+			}
+			if sel == policy.SelectUnexplored && m&slotAware == 0 {
+				poolAll = append(poolAll, seq)
+				continue
+			}
+			cr := candRef{pop: math.Float64frombits(slot.pop.Load()), seq: seq}
 			switch {
-			case sel == policy.SelectUnexplored && !st.Aware:
-				poolAll = append(poolAll, st.ID)
 			case len(best) < n:
-				best = heapPush(best, *st)
-			case statLess(*st, best[0]):
-				best[0] = *st
+				best = heapPush(best, cr)
+			case candLess(cr, best[0]):
+				best[0] = cr
 				heapFix(best)
 			}
 		}
@@ -1189,8 +1362,8 @@ func (c *Corpus) queryCandidates(arm *armState, r float64, query string, n int, 
 	heapSort(best)
 	rs.cand = best
 	detStart := len(det)
-	for _, st := range best {
-		det = append(det, st.ID)
+	for _, cr := range best {
+		det = append(det, cr.seq)
 	}
 	rs.poolAll = poolAll
 	if sel != policy.SelectCoin {
@@ -1326,22 +1499,17 @@ func (sh *shard) run() {
 		// health counters along with the log's own rollback.
 		startLSN := sh.st.Log.NextLSN()
 		prevLag := sh.walLag.Load()
-		buf := sh.encBuf[:0]
 		for _, r := range reqs {
 			for _, a := range r.add {
-				buf = appendAddRecord(buf[:0], a, now)
-				sh.mustAppend(buf)
+				sh.mustEnd(appendAddRecord(sh.mustBegin(), a, now))
 			}
 			for _, id := range r.remove {
-				buf = appendRemoveRecord(buf[:0], id, now)
-				sh.mustAppend(buf)
+				sh.mustEnd(appendRemoveRecord(sh.mustBegin(), id, now))
 			}
 			for _, e := range r.events {
-				buf = appendEventRecord(buf[:0], e, now)
-				sh.mustAppend(buf)
+				sh.mustEnd(appendEventRecord(sh.mustBegin(), e, now))
 			}
 		}
-		sh.encBuf = buf
 		if err := sh.st.Log.Commit(); err != nil {
 			// The log is not durable, so NOTHING in this group may be
 			// acknowledged or applied: drop the buffered frames (the WAL
@@ -1416,17 +1584,28 @@ func (sh *shard) run() {
 	}
 }
 
-// mustAppend logs one record and advances the shard's LSN/lag counters.
-// Append only buffers in memory (no I/O), so it cannot fail for any
-// reason short of a programming error; Commit is where injected and
-// real disk faults surface, and they are handled there.
-func (sh *shard) mustAppend(payload []byte) {
-	lsn, err := sh.st.Log.Append(payload)
+// mustBegin and mustEnd bracket one in-place record write
+// (wal.BeginRecord/EndRecord): the record encoders append the payload
+// directly into the log's commit buffer, so logging a batch costs zero
+// intermediate copies. Neither call does I/O and neither can fail short
+// of a programming error; Commit is where injected and real disk faults
+// surface, and they are handled there.
+func (sh *shard) mustBegin() []byte {
+	buf, err := sh.st.Log.BeginRecord()
+	if err != nil {
+		panic(fmt.Sprintf("serve: shard WAL begin failed: %v", err))
+	}
+	sh.recStart = len(buf)
+	return buf
+}
+
+func (sh *shard) mustEnd(buf []byte) {
+	lsn, err := sh.st.Log.EndRecord(buf)
 	if err != nil {
 		panic(fmt.Sprintf("serve: shard WAL append failed: %v", err))
 	}
 	sh.appliedLSN.Store(lsn)
-	sh.walLag.Add(int64(len(payload)))
+	sh.walLag.Add(int64(len(buf) - sh.recStart))
 }
 
 // liveAdd applies one addition through the shared event-application path.
@@ -1471,9 +1650,9 @@ func (sh *shard) publish() {
 	old := sh.snap.Load()
 	ns := &snapshot{epoch: old.epoch + 1}
 	ns.top = sh.treap.TopK(sh.cfg.TopK, make([]rankengine.Entry, 0, sh.cfg.TopK))
-	n := len(sh.poolIDs)
+	n := len(sh.poolSeqs)
 	if n <= sh.cfg.PoolCap {
-		ns.pool = append([]int(nil), sh.poolIDs...)
+		ns.pool = append([]int(nil), sh.poolSeqs...)
 	} else {
 		// Partial Fisher–Yates over a scratch copy: a fresh uniform
 		// PoolCap-sample each epoch, so capping never starves a page.
@@ -1481,7 +1660,7 @@ func (sh *shard) publish() {
 			sh.scratch = make([]int, n)
 		}
 		buf := sh.scratch[:n]
-		copy(buf, sh.poolIDs)
+		copy(buf, sh.poolSeqs)
 		k := sh.cfg.PoolCap
 		for i := 0; i < k; i++ {
 			j := i + sh.rng.Intn(n-i)

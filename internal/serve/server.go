@@ -1,10 +1,16 @@
-// HTTP/JSON front end for the live corpus: POST /rank serves randomized
-// result lists, POST /feedback ingests slot-level impressions and clicks,
-// GET /stats exposes corpus accounting plus the per-slot telemetry that
-// makes promotion evaluable online (position-bias measurement needs
-// impression/click counts per presented position), and GET /healthz is
-// the readiness probe: recovery state, per-shard feedback-queue depth
-// and WAL lag.
+// HTTP front end for the live corpus, versioned under /v1: POST
+// /v1/rank serves randomized result lists (POST /v1/rank/batch serves
+// many per round trip, JSON or binary-framed), POST /v1/feedback
+// ingests slot-level impressions and clicks, GET /v1/stats exposes
+// corpus accounting plus the per-slot telemetry that makes promotion
+// evaluable online (position-bias measurement needs impression/click
+// counts per presented position), and GET /v1/healthz is the readiness
+// probe: recovery state, per-shard feedback-queue depth and WAL lag.
+// The original unprefixed paths remain as byte-identical deprecated
+// aliases (they answer with a Deprecation header naming the successor).
+// Every failure, on every endpoint, is the structured envelope
+// {"error":{"code","message","retry_after_ms"}}. docs/api.md is the
+// full contract.
 //
 // The hot handlers (/rank, /feedback) run allocation-light: request
 // bodies are read into pooled buffers, and responses are written by an
@@ -14,12 +20,14 @@
 package serve
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,7 +71,9 @@ type Server struct {
 	feedback503      atomic.Uint64 // feedback batches refused: WAL commit failed
 }
 
-// NewServer builds the HTTP front end for the corpus.
+// NewServer builds the HTTP front end for the corpus. Every endpoint is
+// mounted under /v1; the original unprefixed paths stay as deprecated
+// aliases answering byte-identical bodies plus migration headers.
 func NewServer(c *Corpus) *Server {
 	s := &Server{corpus: c, mux: http.NewServeMux(), start: time.Now()}
 	if c.cfg.RateLimitRPS > 0 {
@@ -72,12 +82,28 @@ func NewServer(c *Corpus) *Server {
 	s.scratch.New = func() any {
 		return &connScratch{in: make([]byte, 0, 1024), out: make([]byte, 0, 4096)}
 	}
-	s.mux.HandleFunc("/rank", s.handleRank)
-	s.mux.HandleFunc("/feedback", s.handleFeedback)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/experiment", s.handleExperiment)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.route("/rank", s.handleRank)
+	s.route("/feedback", s.handleFeedback)
+	s.route("/stats", s.handleStats)
+	s.route("/experiment", s.handleExperiment)
+	s.route("/healthz", s.handleHealthz)
+	// Batch ranking is new with /v1 and gets no legacy alias.
+	s.mux.HandleFunc("/v1/rank/batch", s.handleRankBatch)
 	return s
+}
+
+// route mounts h at /v1<path> and keeps the legacy unprefixed path as a
+// deprecated alias: the same handler (so responses stay byte-identical
+// with the versioned route), plus the Deprecation and
+// successor-version Link headers that tell clients where to migrate.
+func (s *Server) route(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc("/v1"+path, h)
+	successor := "</v1" + path + `>; rel="successor-version"`
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", successor)
+		h(w, r)
+	})
 }
 
 // readBody reads the request body (bounded by maxBodyBytes) into dst,
@@ -128,8 +154,7 @@ func (s *Server) rateLimit(w http.ResponseWriter, r *http.Request, unit string) 
 	if s.limiter == nil || s.limiter.allow(clientKey(unit, r)) {
 		return true
 	}
-	w.Header().Set("Retry-After", "1")
-	httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+	httpError(w, http.StatusTooManyRequests, ErrCodeRateLimited, time.Second, "rate limit exceeded")
 	return false
 }
 
@@ -230,7 +255,7 @@ type StatsResponse struct {
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		httpError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, 0, "POST only")
 		return
 	}
 	sc := s.scratch.Get().(*connScratch)
@@ -238,16 +263,16 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	var err error
 	sc.in, err = readBody(sc.in[:0], w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad JSON: %v", err)
 		return
 	}
 	var req RankRequest
 	if err := json.Unmarshal(sc.in, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad JSON: %v", err)
 		return
 	}
 	if req.N < 0 {
-		httpError(w, http.StatusBadRequest, "n must be >= 0, got %d", req.N)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "n must be >= 0, got %d", req.N)
 		return
 	}
 	if req.N == 0 {
@@ -260,7 +285,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if req.Arm != "" {
 		a, ok := s.corpus.armByName(req.Arm)
 		if !ok {
-			httpError(w, http.StatusBadRequest, "unknown arm %q", req.Arm)
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "unknown arm %q", req.Arm)
 			return
 		}
 		forced = a
@@ -272,16 +297,26 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	var armName string
 	sc.results, armName, err = s.corpus.rankInto(req.Query, req.N, req.Seed, req.Unit, forced, sc.results)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "%v", err)
 		return
 	}
 	sc.out = appendRankResponse(sc.out[:0], req.Query, armName, s.corpus.Epoch(), sc.results)
 	writeRaw(w, http.StatusOK, sc.out)
 }
 
-func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+// handleRankBatch serves POST /v1/rank/batch: many rank requests per
+// round trip, in one of two codecs selected by the request
+// Content-Type — JSON ({"requests":[...]}) by default, or the
+// length-prefixed binary framing when the Content-Type is
+// BatchContentType (the response then uses the same framing). The batch
+// is all-or-nothing about validity: any malformed sub-request fails the
+// whole call with one error envelope and nothing is served. The rate
+// limiter charges the batch as ONE request (that is the point of
+// batching); each sub-request still counts individually in
+// rank_requests.
+func (s *Server) handleRankBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		httpError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, 0, "POST only")
 		return
 	}
 	sc := s.scratch.Get().(*connScratch)
@@ -289,22 +324,130 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var err error
 	sc.in, err = readBody(sc.in[:0], w, r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad body: %v", err)
+		return
+	}
+	binaryCodec := r.Header.Get("Content-Type") == BatchContentType
+	var reqs []RankRequest
+	if binaryCodec {
+		reqs, err = DecodeRankBatchRequest(sc.in)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "%v", err)
+			return
+		}
+	} else {
+		var body RankBatchRequest
+		if err := json.Unmarshal(sc.in, &body); err != nil {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad JSON: %v", err)
+			return
+		}
+		reqs = body.Requests
+	}
+	if len(reqs) == 0 {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "empty batch")
+		return
+	}
+	if len(reqs) > MaxBatchRequests {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "batch of %d requests exceeds %d", len(reqs), MaxBatchRequests)
+		return
+	}
+	// Validate every sub-request before serving any, so a bad batch
+	// fails whole without side effects.
+	var unit string
+	for i := range reqs {
+		req := &reqs[i]
+		if req.N < 0 {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "request %d: n must be >= 0, got %d", i, req.N)
+			return
+		}
+		if req.Arm != "" {
+			if _, ok := s.corpus.armByName(req.Arm); !ok {
+				httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "request %d: unknown arm %q", i, req.Arm)
+				return
+			}
+		}
+		if unit == "" {
+			unit = req.Unit
+		}
+	}
+	if !s.rateLimit(w, r, unit) {
+		return
+	}
+	s.rankRequests.Add(uint64(len(reqs)))
+	out := sc.out[:0]
+	if binaryCodec {
+		out = binary.AppendUvarint(out, batchVersion)
+		out = binary.AppendUvarint(out, uint64(len(reqs)))
+	} else {
+		out = append(out, `{"responses":[`...)
+	}
+	for i := range reqs {
+		req := &reqs[i]
+		n := req.N
+		if n == 0 {
+			n = DefaultTopN
+		}
+		if n > MaxTopN {
+			n = MaxTopN
+		}
+		var forced *armState
+		if req.Arm != "" {
+			forced, _ = s.corpus.armByName(req.Arm)
+		}
+		var armName string
+		sc.results, armName, err = s.corpus.rankInto(req.Query, n, req.Seed, req.Unit, forced, sc.results)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "request %d: %v", i, err)
+			return
+		}
+		if binaryCodec {
+			out = appendBinRankItem(out, armName, s.corpus.Epoch(), sc.results)
+		} else {
+			if i > 0 {
+				out = append(out, ',')
+			}
+			out = appendRankBody(out, req.Query, armName, s.corpus.Epoch(), sc.results)
+		}
+	}
+	if !binaryCodec {
+		out = append(out, ']', '}', '\n')
+	}
+	sc.out = out
+	if binaryCodec {
+		w.Header().Set("Content-Type", BatchContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(out)
+		return
+	}
+	writeRaw(w, http.StatusOK, out)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, 0, "POST only")
+		return
+	}
+	sc := s.scratch.Get().(*connScratch)
+	defer s.scratch.Put(sc)
+	var err error
+	sc.in, err = readBody(sc.in[:0], w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad JSON: %v", err)
 		return
 	}
 	var req FeedbackRequest
 	if err := json.Unmarshal(sc.in, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad JSON: %v", err)
 		return
 	}
 	for _, e := range req.Events {
 		if e.Impressions < 0 || e.Clicks < 0 {
-			httpError(w, http.StatusBadRequest,
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0,
 				"negative counts for page %d (impressions %d, clicks %d)", e.Page, e.Impressions, e.Clicks)
 			return
 		}
 		if e.Slot < 1 {
-			httpError(w, http.StatusBadRequest, "slot must be >= 1 for page %d, got %d", e.Page, e.Slot)
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "slot must be >= 1 for page %d, got %d", e.Page, e.Slot)
 			return
 		}
 	}
@@ -336,18 +479,16 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeRaw(w, http.StatusAccepted, sc.out)
 	case errors.Is(err, ErrOverloaded):
 		s.feedback429.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "feedback queue full, retry with backoff")
+		httpError(w, http.StatusTooManyRequests, ErrCodeOverloaded, time.Second, "feedback queue full, retry with backoff")
 	default:
 		s.feedback503.Add(1)
-		w.Header().Set("Retry-After", "2")
-		httpError(w, http.StatusServiceUnavailable, "feedback not durable: %v", err)
+		httpError(w, http.StatusServiceUnavailable, ErrCodeUnavailable, 2*time.Second, "feedback not durable: %v", err)
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		httpError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, 0, "GET only")
 		return
 	}
 	cs := s.corpus.Stats()
@@ -398,7 +539,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		httpError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, 0, "GET only")
 		return
 	}
 	writeJSON(w, http.StatusOK, ExperimentResponse{Arms: s.corpus.Arms()})
@@ -441,6 +582,52 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Error codes carried by the structured error envelope.
+const (
+	// ErrCodeBadRequest: the request is malformed or semantically
+	// invalid; retrying unchanged will fail the same way.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeMethodNotAllowed: wrong HTTP method for the endpoint.
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeRateLimited: the client's token bucket is empty; retry
+	// after the advertised delay.
+	ErrCodeRateLimited = "rate_limited"
+	// ErrCodeOverloaded: a shard feedback queue is full; nothing was
+	// enqueued, retry the whole batch after backing off.
+	ErrCodeOverloaded = "overloaded"
+	// ErrCodeUnavailable: the service cannot satisfy the request right
+	// now (e.g. feedback could not be made durable, or recovery is in
+	// progress); the batch was nacked and may be retried.
+	ErrCodeUnavailable = "unavailable"
+)
+
+// ErrorInfo is the payload of the unified error envelope every endpoint
+// answers failures with.
+type ErrorInfo struct {
+	// Code is a stable machine-readable failure class (the ErrCode
+	// constants); Message is human-readable detail that may change
+	// between releases.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS mirrors the Retry-After header in milliseconds on
+	// 429/503 responses; 0 means the error is not a backoff signal.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorEnvelope is the wire shape of every non-2xx reply:
+// {"error":{"code","message","retry_after_ms"}}.
+type ErrorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// httpError answers with the unified error envelope. A positive
+// retryAfter also sets the Retry-After header (whole seconds, rounded
+// up) and is mirrored in the body in milliseconds.
+func httpError(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	var retryMS int64
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((retryAfter+time.Second-1)/time.Second), 10))
+		retryMS = retryAfter.Milliseconds()
+	}
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorInfo{Code: code, Message: fmt.Sprintf(format, args...), RetryAfterMS: retryMS}})
 }

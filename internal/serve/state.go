@@ -8,18 +8,21 @@
 // group-commit time) instead of reading time.Now, which is what makes
 // recovery and replay exact rather than approximate.
 //
-// Serving-side telemetry that is NOT corpus state (per-slot counters,
-// per-arm attribution) stays out of shardState: applyEvent returns an
-// outcome describing what happened (applied? rank changed? a discovery?
-// the pre-event first-impression stamp) and each caller credits its own
-// telemetry from it — the live shard credits slot tables and arm
-// tallies, recovery does the same to restore them exactly, and the
-// counterfactual replay evaluator applies its own eligibility filter.
+// Per-page stats live in the shared dense pageTable (table.go), indexed
+// by birth sequence; the shard owns the mapping from page id to slot and
+// is the slot's single writer. Serving-side telemetry that is NOT corpus
+// state (per-slot counters, per-arm attribution) stays out of
+// shardState: applyEvent returns an outcome describing what happened
+// (applied? rank changed? a discovery? the pre-event first-impression
+// stamp) and each caller credits its own telemetry from it — the live
+// shard credits slot tables and arm tallies, recovery does the same to
+// restore them exactly, and the counterfactual replay evaluator applies
+// its own eligibility filter.
 package serve
 
 import (
+	"math"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/rankengine"
@@ -28,6 +31,8 @@ import (
 
 // AddRecord is the durable form of a page addition: everything needed to
 // reconstruct the page's serving state and its search-index entry.
+// Birth doubles as the page's dense slot in the page table and its
+// document id in the search index.
 type AddRecord struct {
 	ID         int
 	Text       string
@@ -53,17 +58,19 @@ type outcome struct {
 
 // shardState is the event-sourced corpus state of one shard: exactly
 // what snapshots persist and what the WAL reconstructs. A single
-// goroutine owns all mutation; stats is read lock-free by the serving
-// paths.
+// goroutine owns all mutation; the page-table slots it writes are read
+// lock-free by the serving paths.
 type shardState struct {
-	// stats maps page id -> *Stat. Written only by the owning apply
-	// goroutine; read lock-free by every request.
-	stats sync.Map
+	// table holds every page's dense stat slot, shared across shards
+	// (each shard writes only the slots of pages that hash to it).
+	table *pageTable
 
 	// Owned exclusively by the applier:
-	treap   *rankengine.Treap
-	poolIDs []int       // zero-awareness page ids, swap-remove order
-	poolPos map[int]int // id -> index in poolIDs
+	seqOf    map[int]int // page id -> slot (birth sequence)
+	maxBirth int         // highest birth ever applied + 1 (seq watermark)
+	treap    *rankengine.Treap
+	poolSeqs []int       // zero-awareness page slots, swap-remove order
+	poolPos  map[int]int // seq -> index in poolSeqs
 	// texts retains each page's indexed text for snapshotting (durable
 	// corpora must be able to rebuild the search index at boot); nil when
 	// the corpus is in-memory only.
@@ -82,7 +89,9 @@ type shardState struct {
 }
 
 // init prepares the state. retainText must be set for durable corpora.
-func (st *shardState) init(treapSeed uint64, retainText bool, pages, zeroAware *atomic.Int64) {
+func (st *shardState) init(treapSeed uint64, retainText bool, pages, zeroAware *atomic.Int64, table *pageTable) {
+	st.table = table
+	st.seqOf = make(map[int]int)
 	st.treap = rankengine.New(treapSeed)
 	st.poolPos = make(map[int]int)
 	if retainText {
@@ -92,27 +101,49 @@ func (st *shardState) init(treapSeed uint64, retainText bool, pages, zeroAware *
 	st.zeroAware = zeroAware
 }
 
+// fillSlot publishes one page into its table slot: fields first, the
+// live meta last, so a reader that observes the slot live sees every
+// field in place.
+func (st *shardState) fillSlot(seq int, id int, pop float64, imp, clk, firstImp int64, aware bool) *pageSlot {
+	slot := st.table.ensure(seq)
+	slot.id.Store(int64(id))
+	slot.pop.Store(math.Float64bits(pop))
+	slot.imp.Store(imp)
+	slot.clk.Store(clk)
+	slot.firstImp.Store(firstImp)
+	m := slotLive
+	if aware {
+		m |= slotAware
+	}
+	slot.meta.Store(m)
+	if seq >= st.maxBirth {
+		st.maxBirth = seq + 1
+	}
+	return slot
+}
+
 // applyAdd folds one page addition into the state. A page with
 // popularity zero starts in the zero-awareness promotion pool; positive
 // popularity marks it already explored. Duplicates are dropped
 // defensively (the index layer already rejects them in the live path).
 func (st *shardState) applyAdd(a AddRecord) bool {
-	if _, ok := st.stats.Load(a.ID); ok {
+	if _, ok := st.seqOf[a.ID]; ok {
 		st.dropped.Add(1)
 		return false
 	}
-	stored := Stat{ID: a.ID, Popularity: a.Popularity, Birth: a.Birth, Aware: a.Popularity > 0}
-	st.stats.Store(a.ID, &stored)
+	aware := a.Popularity > 0
+	st.fillSlot(a.Birth, a.ID, a.Popularity, 0, 0, 0, aware)
+	st.seqOf[a.ID] = a.Birth
 	if st.texts != nil {
 		st.texts[a.ID] = a.Text
 	}
 	st.pages.Add(1)
-	if stored.Aware {
+	if aware {
 		st.treap.Insert(rankengine.Entry{ID: a.ID, Popularity: a.Popularity, BirthDay: a.Birth})
 	} else {
 		st.zeroAware.Add(1)
-		st.poolPos[a.ID] = len(st.poolIDs)
-		st.poolIDs = append(st.poolIDs, a.ID)
+		st.poolPos[a.Birth] = len(st.poolSeqs)
+		st.poolSeqs = append(st.poolSeqs, a.Birth)
 	}
 	return true
 }
@@ -125,7 +156,7 @@ func (st *shardState) applyAdd(a AddRecord) bool {
 // time. Events with a slot below 1, negative counts or an unknown page
 // are dropped.
 func (st *shardState) applyEvent(e Event, nanos int64) outcome {
-	v, ok := st.stats.Load(e.Page)
+	seq, ok := st.seqOf[e.Page]
 	if !ok {
 		st.dropped.Add(1)
 		return outcome{}
@@ -137,88 +168,94 @@ func (st *shardState) applyEvent(e Event, nanos int64) outcome {
 		st.dropped.Add(1)
 		return outcome{}
 	}
-	s := *v.(*Stat)
-	out := outcome{applied: true, priorFirstImp: s.firstImpNanos}
-	if s.Impressions == 0 && e.Impressions > 0 {
-		s.firstImpNanos = nanos
+	slot := slotAt(st.table.view(), seq)
+	out := outcome{applied: true, priorFirstImp: slot.firstImp.Load()}
+	if slot.imp.Load() == 0 && e.Impressions > 0 {
+		slot.firstImp.Store(nanos)
 	}
-	s.Impressions += int64(e.Impressions)
-	s.Clicks += int64(e.Clicks)
+	slot.imp.Add(int64(e.Impressions))
+	slot.clk.Add(int64(e.Clicks))
 	st.impressions.Add(uint64(e.Impressions))
 	if e.Clicks > 0 {
-		s.Popularity += float64(e.Clicks)
+		pop := math.Float64frombits(slot.pop.Load()) + float64(e.Clicks)
+		slot.pop.Store(math.Float64bits(pop))
 		st.clicks.Add(uint64(e.Clicks))
-		entry := rankengine.Entry{ID: s.ID, Popularity: s.Popularity, BirthDay: s.Birth}
-		if s.Aware {
+		entry := rankengine.Entry{ID: e.Page, Popularity: pop, BirthDay: seq}
+		if m := slot.meta.Load(); m&slotAware != 0 {
 			st.treap.Update(entry)
 		} else {
 			// First click: the page is now explored — promote it out of
 			// the zero-awareness pool into the deterministic ranking
 			// (§4's selective rule).
-			s.Aware = true
+			slot.meta.Store(m | slotAware)
 			st.zeroAware.Add(-1)
-			st.removeFromPool(s.ID)
+			st.removeFromPool(seq)
 			st.treap.Insert(entry)
 			out.discovery = true
 		}
 		out.rankChanged = true
 	}
-	st.stats.Store(s.ID, &s)
 	return out
 }
 
-// applyRemove deletes one page from the shard state: its stat entry,
-// its treap or zero-awareness-pool membership, and its retained text.
-// Removals of unknown pages count as dropped (the live path's index
-// delete already filtered them; replayed logs may still carry them).
-// Returns true when the servable view changed and needs republishing.
+// awareOf reports whether the shard holds the page and whether it has
+// been promoted out of the zero-awareness pool. Applier-side read (the
+// replay evaluator's pre-event eligibility check).
+func (st *shardState) awareOf(id int) (exists, aware bool) {
+	seq, ok := st.seqOf[id]
+	if !ok {
+		return false, false
+	}
+	return true, slotAt(st.table.view(), seq).meta.Load()&slotAware != 0
+}
+
+// applyRemove deletes one page from the shard state: its slot is
+// tombstoned (never reused), and its treap or zero-awareness-pool
+// membership and retained text are dropped. Removals of unknown pages
+// count as dropped (the live path's index delete already filtered them;
+// replayed logs may still carry them). Returns true when the servable
+// view changed and needs republishing.
 func (st *shardState) applyRemove(id int) bool {
-	v, ok := st.stats.Load(id)
+	seq, ok := st.seqOf[id]
 	if !ok {
 		st.dropped.Add(1)
 		return false
 	}
-	s := v.(*Stat)
-	st.stats.Delete(id)
+	slot := slotAt(st.table.view(), seq)
+	aware := slot.meta.Load()&slotAware != 0
+	slot.meta.Store(slotDead)
+	delete(st.seqOf, id)
 	if st.texts != nil {
 		delete(st.texts, id)
 	}
 	st.pages.Add(-1)
-	if s.Aware {
+	if aware {
 		st.treap.Delete(id)
 	} else {
 		st.zeroAware.Add(-1)
-		st.removeFromPool(id)
+		st.removeFromPool(seq)
 	}
 	return true
 }
 
-func (st *shardState) removeFromPool(id int) {
-	pos, ok := st.poolPos[id]
+func (st *shardState) removeFromPool(seq int) {
+	pos, ok := st.poolPos[seq]
 	if !ok {
 		return
 	}
-	last := len(st.poolIDs) - 1
-	moved := st.poolIDs[last]
-	st.poolIDs[pos] = moved
+	last := len(st.poolSeqs) - 1
+	moved := st.poolSeqs[last]
+	st.poolSeqs[pos] = moved
 	st.poolPos[moved] = pos
-	st.poolIDs = st.poolIDs[:last]
-	delete(st.poolPos, id)
+	st.poolSeqs = st.poolSeqs[:last]
+	delete(st.poolPos, seq)
 }
 
 // loadPage restores one page from a snapshot record, bypassing the WAL
 // path (the snapshot already folded its history in).
 func (st *shardState) loadPage(p store.PageRecord) {
-	stored := Stat{
-		ID:            p.ID,
-		Popularity:    p.Popularity,
-		Birth:         p.Birth,
-		Aware:         p.Aware,
-		Impressions:   p.Impressions,
-		Clicks:        p.Clicks,
-		firstImpNanos: p.FirstImpNanos,
-	}
-	st.stats.Store(p.ID, &stored)
+	st.fillSlot(p.Birth, p.ID, p.Popularity, p.Impressions, p.Clicks, p.FirstImpNanos, p.Aware)
+	st.seqOf[p.ID] = p.Birth
 	if st.texts != nil {
 		st.texts[p.ID] = p.Text
 	}
@@ -227,32 +264,32 @@ func (st *shardState) loadPage(p store.PageRecord) {
 		st.treap.Insert(rankengine.Entry{ID: p.ID, Popularity: p.Popularity, BirthDay: p.Birth})
 	} else {
 		st.zeroAware.Add(1)
-		st.poolPos[p.ID] = len(st.poolIDs)
-		st.poolIDs = append(st.poolIDs, p.ID)
+		st.poolPos[p.Birth] = len(st.poolSeqs)
+		st.poolSeqs = append(st.poolSeqs, p.Birth)
 	}
 }
 
 // pageRecords captures every page as snapshot records, sorted by birth
 // so snapshot bytes (and restored iteration order) are deterministic.
 func (st *shardState) pageRecords() []store.PageRecord {
-	var out []store.PageRecord
-	st.stats.Range(func(_, v any) bool {
-		s := v.(*Stat)
+	out := make([]store.PageRecord, 0, len(st.seqOf))
+	view := st.table.view()
+	for id, seq := range st.seqOf {
+		s := slotAt(view, seq).stat(seq)
 		rec := store.PageRecord{
-			ID:            s.ID,
+			ID:            id,
 			Popularity:    s.Popularity,
-			Birth:         s.Birth,
+			Birth:         seq,
 			Aware:         s.Aware,
 			Impressions:   s.Impressions,
 			Clicks:        s.Clicks,
 			FirstImpNanos: s.firstImpNanos,
 		}
 		if st.texts != nil {
-			rec.Text = st.texts[s.ID]
+			rec.Text = st.texts[id]
 		}
 		out = append(out, rec)
-		return true
-	})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Birth < out[j].Birth })
 	return out
 }

@@ -42,3 +42,50 @@ func BenchmarkWALAppend(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkWALAppendRecord measures the in-place record path
+// (BeginRecord/EndRecord) the serving layer encodes with: the payload
+// is appended straight into the commit buffer, skipping Append's
+// encode-then-copy. Same batch shape and fsync cadence as
+// BenchmarkWALAppend, into a preallocated segment.
+func BenchmarkWALAppendRecord(b *testing.B) {
+	const batch = 64
+	payload := make([]byte, 48)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	l, _, err := Open(b.TempDir(), Options{Fsync: FsyncBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	record := func() {
+		buf, err := l.BeginRecord()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.EndRecord(append(buf, payload...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the frame buffer to steady-state capacity before the timer.
+	for i := 0; i < batch; i++ {
+		record()
+	}
+	if err := l.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		record()
+		if (i+1)%batch == 0 {
+			if err := l.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := l.Commit(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// fallocKeepSize is FALLOC_FL_KEEP_SIZE: allocate extents without
+// growing the file's logical size, so torn-tail validation (which reads
+// to EOF) never sees the reserved zeros.
+const fallocKeepSize = 0x01
+
+// preallocate reserves size bytes of extents for a fresh segment.
+// Best-effort: filesystems without fallocate support (or size <= 0)
+// simply skip it — correctness never depends on the reservation.
+func preallocate(f *os.File, size int64) {
+	if size <= 0 {
+		return
+	}
+	_ = syscall.Fallocate(int(f.Fd()), fallocKeepSize, 0, size)
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// preallocate is a no-op off Linux; appends allocate blocks as they
+// always did.
+func preallocate(*os.File, int64) {}

@@ -155,9 +155,12 @@ type Log struct {
 	active   *os.File
 	buf      []byte // frames appended since the last Commit
 	bufFirst uint64 // LSN of the first buffered frame
-	nextLSN  uint64
-	size     int64 // bytes across all segments, including uncommitted
-	dirSync  bool  // directory fsync needed after the next rotation
+	// pendingStart is the buffer offset of an open BeginRecord frame
+	// (meaningful only between BeginRecord and EndRecord).
+	pendingStart int
+	nextLSN      uint64
+	size         int64 // bytes across all segments, including uncommitted
+	dirSync      bool  // directory fsync needed after the next rotation
 	// dirty means a failed Commit may have left bytes in the active
 	// segment beyond the last durable frame (a partial write, or a full
 	// write whose fsync failed and whose pages the kernel may since have
@@ -328,6 +331,47 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// BeginRecord starts a record in place: it reserves the frame header in
+// the append buffer and returns the buffer for the caller to encode the
+// payload directly into (with append), eliminating Append's
+// encode-then-copy. The record takes effect — gets its LSN, has its
+// header and CRC written — only at the matching EndRecord call, which
+// must receive the (possibly reallocated) buffer back. Records may not
+// be nested, and no other Log method may be called between the two.
+func (l *Log) BeginRecord() ([]byte, error) {
+	if l.opts.ReadOnly {
+		return nil, fmt.Errorf("wal: log opened read-only")
+	}
+	if len(l.buf) == 0 {
+		l.bufFirst = l.nextLSN
+	}
+	l.pendingStart = len(l.buf)
+	l.buf = append(l.buf, make([]byte, frameHeader)...)
+	return l.buf, nil
+}
+
+// EndRecord seals the record begun by BeginRecord: everything the
+// caller appended past the reserved header becomes the payload, the
+// header and CRC are written in place, and the record's LSN is
+// returned. On error (an oversized payload) the buffer is rewound to
+// its pre-BeginRecord state and the log remains usable.
+func (l *Log) EndRecord(buf []byte) (uint64, error) {
+	l.buf = buf
+	start := l.pendingStart
+	payload := buf[start+frameHeader:]
+	if len(payload) > MaxRecord {
+		l.buf = l.buf[:start]
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	h := buf[start : start+frameHeader]
+	binary.LittleEndian.PutUint32(h[0:4], uint32(len(payload)))
+	sum := crc32.Update(crc32.Checksum(h[0:4], crcTable), crcTable, payload)
+	binary.LittleEndian.PutUint32(h[4:8], sum)
+	lsn := l.nextLSN
+	l.nextLSN++
+	return lsn, nil
+}
+
 // Commit writes every record appended since the last Commit and makes
 // the batch durable per the fsync mode — the group-commit boundary.
 //
@@ -446,6 +490,10 @@ func (l *Log) ensureActive() error {
 	}
 	l.segments = append(l.segments, segment{path: path, first: l.bufFirst, last: l.bufFirst - 1})
 	l.active = f
+	// Reserve the segment's extents up front (keeping the logical size at
+	// zero), so commits append into preallocated blocks instead of taking
+	// block-allocation stalls on the fsync path. Best-effort.
+	preallocate(f, l.opts.SegmentBytes)
 	// Make the new directory entry durable with the first commit that
 	// lands in it.
 	l.dirSync = true
