@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// BenchmarkReplicationShip measures the WAL shipping pipeline end to
+// end on loopback: a 2-node, 1-shard cluster where the leader commits
+// feedback batches and the timed region covers everything from the
+// leader's group commit through the follower's byte-identical WAL
+// append and applyEvent — one iteration is framesPerIter frames
+// shipped AND applied (the follower fully caught up). The frames/s
+// metric is the shipped+applied throughput; ns/op is the per-block
+// time benchdiff gates.
+func BenchmarkReplicationShip(b *testing.B) {
+	const framesPerIter = 256
+	cl, err := New(Options{
+		Nodes:   2,
+		Shards:  1,
+		DataDir: b.TempDir(),
+		Seed:    1,
+		Corpus: func(i int, cfg *serve.Config) {
+			// fsync jitter is the disk's benchmark, not the pipeline's.
+			cfg.Durability.FsyncMode = "none"
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	const pages = 16
+	for i := 0; i < pages; i++ {
+		if err := cl.Add(i, fmt.Sprintf("bench page%d", i), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := cl.WaitConverged(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	li := cl.LeaderIndex(0)
+	leader := cl.Node(li).Corpus()
+	follower := cl.Node(1 - li).Corpus()
+	events := []serve.Event{{Page: 3, Slot: 1, Impressions: 1, Clicks: 1}}
+	var shipped int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f := 0; f < framesPerIter; f++ {
+			if err := leader.Feedback(events); err != nil {
+				b.Fatal(err)
+			}
+		}
+		leader.Sync()
+		want := leader.CommittedLSN(0)
+		for follower.CommittedLSN(0) < want {
+			time.Sleep(50 * time.Microsecond)
+		}
+		shipped += framesPerIter
+	}
+	b.ReportMetric(float64(shipped)/b.Elapsed().Seconds(), "frames/s")
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// frontDoorTimeout bounds one proxied sub-request.
+const frontDoorTimeout = 5 * time.Second
+
+// FrontDoor is a node's public face in the cluster: it routes writes
+// to the shard leaders (splitting a /feedback batch by the same
+// page-ID shard hash the corpus partitions by) and serves reads
+// locally, failing over to a peer when the local replica is stale. A
+// client may point at ANY node's front door and see the whole cluster;
+// the loadgen chaos harness points at one and re-resolves to another
+// when it dies.
+type FrontDoor struct {
+	node   *Node
+	coord  Coordinator
+	client *http.Client
+}
+
+// NewFrontDoor wraps the node's API with cluster routing.
+func NewFrontDoor(n *Node) *FrontDoor {
+	return &FrontDoor{
+		node:  n,
+		coord: n.coord,
+		client: &http.Client{
+			Timeout: frontDoorTimeout,
+			// Keep redirects off: everything we proxy is a direct API hit.
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		},
+	}
+}
+
+func (fd *FrontDoor) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Path
+	switch {
+	case r.Method == http.MethodPost && (p == "/feedback" || p == "/v1/feedback"):
+		fd.serveFeedback(w, r)
+	case rankPath(p):
+		fd.serveRead(w, r)
+	default:
+		// Stats, healthz, experiment: answer locally — they describe
+		// this node.
+		fd.node.Handler().ServeHTTP(w, r)
+	}
+}
+
+// errorOut writes the standard envelope.
+func errorOut(w http.ResponseWriter, status int, code, msg string, retryMS int64) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryMS > 0 {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(serve.ErrorEnvelope{Error: serve.ErrorInfo{
+		Code: code, Message: msg, RetryAfterMS: retryMS,
+	}})
+}
+
+// serveFeedback splits the batch by shard leader and forwards each
+// sub-batch; 202 only when every leader accepted its part. A partial
+// acceptance answers 503 so the client retries the whole batch — the
+// apply path is idempotence-free by design, but retried impressions
+// are the same double-count exposure the single-node server already
+// has on a lost 202; the ledger asserts no UNDER-count, which holds.
+func (fd *FrontDoor) serveFeedback(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		errorOut(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	var req serve.FeedbackRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		errorOut(w, http.StatusBadRequest, "bad_request", "bad JSON: "+err.Error(), 0)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeAccepted(w, 0)
+		return
+	}
+	shards := fd.node.corpus.Shards()
+	byLeader := make(map[string][]serve.Event)
+	for _, ev := range req.Events {
+		leader, _ := fd.coord.Leader(serve.ShardIndex(ev.Page, shards))
+		byLeader[leader] = append(byLeader[leader], ev)
+	}
+	for leader, events := range byLeader {
+		status, errBody, err := fd.postFeedback(leader, events)
+		if err != nil {
+			errorOut(w, http.StatusServiceUnavailable, "leader_unreachable",
+				fmt.Sprintf("shard leader %s: %v", leader, err), 1000)
+			return
+		}
+		if status != http.StatusAccepted {
+			// Relay the leader's verdict (429 backpressure, 503
+			// not-leader during failover, ...) untouched so the
+			// client's retry logic sees the real signal.
+			w.Header().Set("Content-Type", "application/json")
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "1")
+			}
+			w.WriteHeader(status)
+			_, _ = w.Write(errBody)
+			return
+		}
+	}
+	writeAccepted(w, len(req.Events))
+}
+
+func writeAccepted(w http.ResponseWriter, n int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(serve.FeedbackResponse{Accepted: n})
+}
+
+// postFeedback sends one sub-batch to a leader node (itself included —
+// the local corpus path stays uniform through its own HTTP handler
+// contract by calling the handler directly, no socket).
+func (fd *FrontDoor) postFeedback(leader string, events []serve.Event) (int, []byte, error) {
+	payload, err := json.Marshal(serve.FeedbackRequest{Events: events})
+	if err != nil {
+		return 0, nil, err
+	}
+	if leader == fd.node.cfg.ID {
+		rec := newBufferResponse()
+		req, _ := http.NewRequest(http.MethodPost, "/v1/feedback", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		fd.node.Handler().ServeHTTP(rec, req)
+		return rec.status, rec.body.Bytes(), nil
+	}
+	base := fd.coord.APIURL(leader)
+	if base == "" {
+		return 0, nil, fmt.Errorf("no API address for %s", leader)
+	}
+	resp, err := fd.client.Post(strings.TrimRight(base, "/")+"/v1/feedback", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, rb, nil
+}
+
+// serveRead answers rank reads: local replica first; if the local
+// guard refuses (stale replica mid-failover), retry the same request
+// against each peer until one answers.
+func (fd *FrontDoor) serveRead(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		errorOut(w, http.StatusBadRequest, "bad_request", err.Error(), 0)
+		return
+	}
+	rec := newBufferResponse()
+	req, _ := http.NewRequest(r.Method, r.URL.Path, bytes.NewReader(body))
+	req.Header = r.Header.Clone()
+	fd.node.Handler().ServeHTTP(rec, req)
+	if rec.status != http.StatusServiceUnavailable {
+		rec.copyTo(w)
+		return
+	}
+	for _, peer := range fd.coord.Nodes() {
+		if peer == fd.node.cfg.ID {
+			continue
+		}
+		base := fd.coord.APIURL(peer)
+		if base == "" {
+			continue
+		}
+		preq, err := http.NewRequest(r.Method, strings.TrimRight(base, "/")+r.URL.Path, bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		preq.Header = r.Header.Clone()
+		resp, err := fd.client.Do(preq)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+		return
+	}
+	// Every replica is stale or unreachable: surface the local 503.
+	rec.copyTo(w)
+}
+
+// bufferResponse is a minimal in-memory http.ResponseWriter for
+// in-process sub-requests (no httptest dependency outside tests).
+type bufferResponse struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+}
+
+func newBufferResponse() *bufferResponse {
+	return &bufferResponse{status: http.StatusOK, header: make(http.Header)}
+}
+
+func (b *bufferResponse) Header() http.Header         { return b.header }
+func (b *bufferResponse) WriteHeader(code int)        { b.status = code }
+func (b *bufferResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+func (b *bufferResponse) copyTo(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.body.Bytes())
+}

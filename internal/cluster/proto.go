@@ -1,0 +1,302 @@
+// The replication wire protocol: length-prefixed binary messages over a
+// plain TCP connection, in the same codec conventions as the /v1 batch
+// protocol (uvarint integers, uvarint-length-prefixed strings, a leading
+// kind byte, strict decoding — short or trailing bytes are errors, never
+// ignored).
+//
+// A follower dials the leader's replication listener and opens one
+// session per shard:
+//
+//	follower → leader   handshake{node, shard, epoch, startLSN}
+//	leader   → follower handshake reply{status, epoch}
+//	leader   → follower [snapshot{lsn, bytes}]        (catch-up only)
+//	leader   → follower frame{epoch, lsn, payload}…   (the shipped WAL)
+//	leader   → follower heartbeat{epoch, commitLSN, nanos}
+//	follower → leader   ack{lsn}                      (durable position)
+//
+// Frame payloads are the exact record bytes wal.Reader yields on the
+// leader; the follower re-appends them to its own log, which re-frames
+// them byte-identically (same length prefix, same CRC-32C). Every
+// leader→follower message carries the fencing epoch; a receiver that
+// has seen a higher epoch refuses the message and drops the connection,
+// which is what makes a revived old leader harmless.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// Message kinds (the first byte of every message body).
+const (
+	msgHandshake = 'H' // follower → leader: session open
+	msgReply     = 'R' // leader → follower: handshake verdict
+	msgSnapshot  = 'S' // leader → follower: catch-up snapshot
+	msgFrame     = 'F' // leader → follower: one WAL record
+	msgHeartbeat = 'B' // leader → follower: liveness + commit position
+	msgAck       = 'A' // follower → leader: durable position
+)
+
+// Handshake verdicts.
+const (
+	replyFrames    = 0 // stream starts at the requested LSN
+	replySnapshot  = 1 // snapshot message precedes the frame stream
+	replyNotLeader = 2 // this node does not lead the shard; re-resolve
+	replyEpoch     = 3 // requester has seen a higher epoch; I am stale
+	replyError     = 4 // anything else; detail says what
+)
+
+// protoMagic leads the handshake so a stray connection to the wrong
+// port fails immediately instead of half-parsing.
+const protoMagic = "SDRP"
+
+// protoVersion is bumped on any incompatible message change.
+const protoVersion = 1
+
+// maxCtrlMsg bounds handshake/heartbeat/ack messages; maxFrameMsg
+// bounds a frame (a WAL record plus header slack); maxSnapMsg bounds a
+// shipped snapshot.
+const (
+	maxCtrlMsg  = 4 << 10
+	maxFrameMsg = wal.MaxRecord + 64
+	maxSnapMsg  = 256 << 20
+)
+
+// writeMsg frames body as [uvarint length][body] and writes it.
+func writeMsg(w io.Writer, body []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readMsg reads one length-prefixed message of at most max bytes.
+func readMsg(br *bufio.Reader, max int) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > uint64(max) {
+		return nil, fmt.Errorf("cluster: message of %d bytes (max %d)", n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// handshake is the session-open message.
+type handshake struct {
+	node     string // follower's node ID
+	shard    uint64
+	epoch    uint64 // highest epoch the follower has seen for the shard
+	startLSN uint64 // first LSN the follower needs (its committed+1)
+}
+
+func (h handshake) encode() []byte {
+	b := []byte{msgHandshake}
+	b = append(b, protoMagic...)
+	b = binary.AppendUvarint(b, protoVersion)
+	b = appendString(b, h.node)
+	b = binary.AppendUvarint(b, h.shard)
+	b = binary.AppendUvarint(b, h.epoch)
+	b = binary.AppendUvarint(b, h.startLSN)
+	return b
+}
+
+func decodeHandshake(body []byte) (handshake, error) {
+	var h handshake
+	if len(body) < 1+len(protoMagic) || body[0] != msgHandshake {
+		return h, fmt.Errorf("cluster: not a handshake")
+	}
+	if string(body[1:1+len(protoMagic)]) != protoMagic {
+		return h, fmt.Errorf("cluster: bad magic")
+	}
+	r := store.NewBinReader(body, 1+len(protoMagic))
+	if v := r.Uvarint(); r.Err() == nil && v != protoVersion {
+		return h, fmt.Errorf("cluster: protocol version %d (want %d)", v, protoVersion)
+	}
+	h.node = r.String()
+	h.shard = r.Uvarint()
+	h.epoch = r.Uvarint()
+	h.startLSN = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return h, fmt.Errorf("cluster: handshake: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return h, fmt.Errorf("cluster: handshake: %d trailing bytes", r.Remaining())
+	}
+	return h, nil
+}
+
+// reply is the leader's handshake verdict.
+type reply struct {
+	status byte
+	epoch  uint64 // the leader's current epoch for the shard
+	detail string // human-readable rejection reason
+}
+
+func (rp reply) encode() []byte {
+	b := []byte{msgReply, rp.status}
+	b = binary.AppendUvarint(b, rp.epoch)
+	b = appendString(b, rp.detail)
+	return b
+}
+
+func decodeReply(body []byte) (reply, error) {
+	var rp reply
+	if len(body) < 2 || body[0] != msgReply {
+		return rp, fmt.Errorf("cluster: not a handshake reply")
+	}
+	rp.status = body[1]
+	r := store.NewBinReader(body, 2)
+	rp.epoch = r.Uvarint()
+	rp.detail = r.String()
+	if err := r.Err(); err != nil {
+		return rp, fmt.Errorf("cluster: reply: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return rp, fmt.Errorf("cluster: reply: %d trailing bytes", r.Remaining())
+	}
+	return rp, nil
+}
+
+// snapMsg carries a catch-up snapshot (store.EncodeSnapshot bytes — the
+// wire format IS the on-disk format, CRC trailer included).
+type snapMsg struct {
+	lsn  uint64
+	data []byte
+}
+
+func (s snapMsg) encode() []byte {
+	b := []byte{msgSnapshot}
+	b = binary.AppendUvarint(b, s.lsn)
+	b = binary.AppendUvarint(b, uint64(len(s.data)))
+	return append(b, s.data...)
+}
+
+func decodeSnapMsg(body []byte) (snapMsg, error) {
+	var s snapMsg
+	if len(body) < 1 || body[0] != msgSnapshot {
+		return s, fmt.Errorf("cluster: not a snapshot message")
+	}
+	r := store.NewBinReader(body, 1)
+	s.lsn = r.Uvarint()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return s, fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	if uint64(r.Remaining()) != n {
+		return s, fmt.Errorf("cluster: snapshot: %d bytes declared, %d present", n, r.Remaining())
+	}
+	s.data = body[len(body)-int(n):]
+	return s, nil
+}
+
+// frameMsg is one shipped WAL record.
+type frameMsg struct {
+	epoch   uint64
+	lsn     uint64
+	payload []byte
+}
+
+func appendFrameMsg(b []byte, epoch, lsn uint64, payload []byte) []byte {
+	b = append(b, msgFrame)
+	b = binary.AppendUvarint(b, epoch)
+	b = binary.AppendUvarint(b, lsn)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func decodeFrameMsg(body []byte) (frameMsg, error) {
+	var f frameMsg
+	if len(body) < 1 || body[0] != msgFrame {
+		return f, fmt.Errorf("cluster: not a frame")
+	}
+	r := store.NewBinReader(body, 1)
+	f.epoch = r.Uvarint()
+	f.lsn = r.Uvarint()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return f, fmt.Errorf("cluster: frame: %w", err)
+	}
+	if uint64(r.Remaining()) != n {
+		return f, fmt.Errorf("cluster: frame: %d bytes declared, %d present", n, r.Remaining())
+	}
+	f.payload = body[len(body)-int(n):]
+	return f, nil
+}
+
+// heartbeat carries liveness and the leader's committed position even
+// when no frames flow.
+type heartbeat struct {
+	epoch     uint64
+	commitLSN uint64
+	nanos     uint64 // leader's clock at send, unix nanos
+}
+
+func (hb heartbeat) encode() []byte {
+	b := []byte{msgHeartbeat}
+	b = binary.AppendUvarint(b, hb.epoch)
+	b = binary.AppendUvarint(b, hb.commitLSN)
+	b = binary.AppendUvarint(b, hb.nanos)
+	return b
+}
+
+func decodeHeartbeat(body []byte) (heartbeat, error) {
+	var hb heartbeat
+	if len(body) < 1 || body[0] != msgHeartbeat {
+		return hb, fmt.Errorf("cluster: not a heartbeat")
+	}
+	r := store.NewBinReader(body, 1)
+	hb.epoch = r.Uvarint()
+	hb.commitLSN = r.Uvarint()
+	hb.nanos = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return hb, fmt.Errorf("cluster: heartbeat: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return hb, fmt.Errorf("cluster: heartbeat: %d trailing bytes", r.Remaining())
+	}
+	return hb, nil
+}
+
+// ack reports the follower's durable position upstream.
+type ack struct {
+	lsn uint64
+}
+
+func (a ack) encode() []byte {
+	b := []byte{msgAck}
+	return binary.AppendUvarint(b, a.lsn)
+}
+
+func decodeAck(body []byte) (ack, error) {
+	var a ack
+	if len(body) < 1 || body[0] != msgAck {
+		return a, fmt.Errorf("cluster: not an ack")
+	}
+	r := store.NewBinReader(body, 1)
+	a.lsn = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return a, fmt.Errorf("cluster: ack: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return a, fmt.Errorf("cluster: ack: %d trailing bytes", r.Remaining())
+	}
+	return a, nil
+}

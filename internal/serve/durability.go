@@ -154,6 +154,7 @@ func (sh *shard) recoverFromStore(idx int) (ShardRecovery, error) {
 	if err != nil {
 		return ShardRecovery{}, err
 	}
+	sh.committedLSN.Store(sh.appliedLSN.Load())
 	sh.lastSnap = time.Now()
 	sh.publish()
 	// A recovered shard whose replayed tail already exceeds the byte
@@ -223,6 +224,10 @@ func (c *Corpus) rebuildIndex() error {
 			return fmt.Errorf("serve: rebuilding index: %w", err)
 		}
 		c.byID.Store(d.id, int64(d.birth)<<1)
+		// Raise the strided allocation counters past every recovered
+		// birth (legacy globally-sequential births included): a future
+		// Add may never re-issue a slot that is already taken.
+		c.noteBirth(d.birth)
 	}
 	return nil
 }
@@ -360,6 +365,10 @@ type HealthReport struct {
 	// WALLagBytes totals the per-shard lag.
 	WALLagBytes int64         `json:"wal_lag_bytes"`
 	Shards      []ShardHealth `json:"shards"`
+	// Replication is the cluster layer's report — roles, fencing epochs,
+	// follower lag, heartbeat age — when this corpus is part of one
+	// (SetReplicationHealth); nil on a standalone corpus.
+	Replication *ReplicationHealth `json:"replication,omitempty"`
 }
 
 // Health reports queue depths and WAL lag per shard, read lock-free.
@@ -390,6 +399,9 @@ func (c *Corpus) Health() HealthReport {
 		}
 		h.WALLagBytes += row.WALLagBytes
 		h.Shards = append(h.Shards, row)
+	}
+	if fn := c.replHealth.Load(); fn != nil {
+		h.Replication = (*fn)()
 	}
 	return h
 }

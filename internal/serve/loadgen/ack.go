@@ -27,14 +27,30 @@ type AckRecorder struct {
 	clks  map[int]int64
 }
 
-// NewAckRecorder wraps the service handler.
+// NewAckRecorder wraps the service handler. inner may be nil when the
+// recorder will only ever serve through Wrap.
 func NewAckRecorder(inner http.Handler) *AckRecorder {
 	return &AckRecorder{inner: inner, imps: map[int]int64{}, clks: map[int]int64{}}
 }
 
 func (a *AckRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.serveVia(a.inner, w, r)
+}
+
+// Wrap returns a handler that serves through inner but ledgers into
+// this recorder — one shared ledger across many handlers. A cluster
+// threads the same recorder through every node's front door: whichever
+// door acknowledges a batch, the promise lands in one place, and the
+// ledger survives any individual node's death.
+func (a *AckRecorder) Wrap(inner http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		a.serveVia(inner, w, r)
+	})
+}
+
+func (a *AckRecorder) serveVia(inner http.Handler, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost || (r.URL.Path != "/feedback" && r.URL.Path != "/v1/feedback") {
-		a.inner.ServeHTTP(w, r)
+		inner.ServeHTTP(w, r)
 		return
 	}
 	body, err := io.ReadAll(r.Body)
@@ -44,7 +60,7 @@ func (a *AckRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	rec := httptest.NewRecorder()
-	a.inner.ServeHTTP(rec, r)
+	inner.ServeHTTP(rec, r)
 	if rec.Code == http.StatusAccepted {
 		var req serve.FeedbackRequest
 		if err := json.Unmarshal(body, &req); err == nil {

@@ -91,6 +91,13 @@ type Config struct {
 	// counts as one completed rank request in the report and contributes
 	// its batch's wall-clock latency as its sample.
 	Batch int
+	// Resolve, when non-nil, names the current front door: before each
+	// retry the worker re-resolves and switches to the returned base URL
+	// when it differs from the one that just failed. Without it a worker
+	// that outlives its server hammers the dead address for the rest of
+	// its retry budget — exactly the client bug a leader kill exposes.
+	// Returning "" keeps the current address.
+	Resolve func() string
 	// Seed drives the simulated users' randomness.
 	Seed uint64
 }
@@ -150,7 +157,9 @@ type Report struct {
 	Retries        int           // retry attempts across all requests
 	BackoffTime    time.Duration // total time spent sleeping between retries
 	Rejected429    int           // 429 responses received (overload / rate limit)
-	Unavailable503 int           // 503 responses received (durability failure)
+	Unavailable503 int           // 503 responses received (durability failure / failover window)
+	Reconnects     int           // transport-level failures retried (connection refused/reset)
+	Failovers      int           // retries that re-resolved to a different front door
 	Duration       time.Duration // wall clock of the whole run
 	QPS            float64       // completed rank requests per second
 	P50, P90, P99  time.Duration // rank request latency percentiles
@@ -177,6 +186,9 @@ func (r *Report) String() string {
 		s += fmt.Sprintf("\nretries %d (backoff %v), 429s %d, 503s %d",
 			r.Retries, r.BackoffTime.Round(time.Millisecond), r.Rejected429, r.Unavailable503)
 	}
+	if r.Reconnects > 0 || r.Failovers > 0 {
+		s += fmt.Sprintf("\nreconnects %d, failovers %d", r.Reconnects, r.Failovers)
+	}
 	if r.Query.Requests > 0 {
 		s += fmt.Sprintf(
 			"\nbrowse path (%d): p50 %v  p99 %v  max %v\nquery path  (%d): p50 %v  p99 %v  max %v",
@@ -202,6 +214,7 @@ func (r *Report) String() string {
 type worker struct {
 	cfg      Config
 	idx      int
+	base     string // current front-door base URL (moves on failover)
 	rng      *randutil.RNG
 	att      *attention.Model
 	pending  []serve.Event
@@ -216,6 +229,9 @@ type worker struct {
 // Run executes the load run and aggregates per-worker measurements.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" && cfg.Resolve != nil {
+		cfg.BaseURL = cfg.Resolve()
+	}
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("loadgen: BaseURL required")
 	}
@@ -230,6 +246,7 @@ func Run(cfg Config) (*Report, error) {
 		w := &worker{
 			cfg:     cfg,
 			idx:     i,
+			base:    cfg.BaseURL,
 			rng:     randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15),
 			att:     att,
 			armLats: map[string][]time.Duration{},
@@ -261,6 +278,8 @@ func Run(cfg Config) (*Report, error) {
 		total.BackoffTime += w.report.BackoffTime
 		total.Rejected429 += w.report.Rejected429
 		total.Unavailable503 += w.report.Unavailable503
+		total.Reconnects += w.report.Reconnects
+		total.Failovers += w.report.Failovers
 		browse = append(browse, w.latencies...)
 		query = append(query, w.queryLats...)
 		for arm, lats := range w.armLats {
@@ -395,13 +414,16 @@ func retryHint(resp *http.Response, body []byte) time.Duration {
 // post issues one POST with retries: a transport failure, 429 or 503 is
 // retried up to cfg.Retries times with jittered exponential backoff,
 // honoring (clamped) retry hints from the error envelope or Retry-After
-// header. Backoff time is accounted separately from request latency,
-// which callers measure per attempt. The returned response (when
-// non-nil) has status 2xx and an open body the caller must close.
+// header. When Config.Resolve is set, each retry re-resolves the front
+// door first — a worker whose server just died follows the cluster to a
+// survivor instead of burning its retry budget on a dead address.
+// Backoff time is accounted separately from request latency, which
+// callers measure per attempt. The returned response (when non-nil) has
+// status 2xx and an open body the caller must close.
 func (w *worker) post(path, contentType string, body []byte) (*http.Response, error) {
 	backoff := w.cfg.RetryBackoff
 	for attempt := 0; ; attempt++ {
-		resp, err := w.cfg.Client.Post(w.cfg.BaseURL+path, contentType, bytes.NewReader(body))
+		resp, err := w.cfg.Client.Post(w.base+path, contentType, bytes.NewReader(body))
 		retryAfter := time.Duration(0)
 		if err == nil {
 			switch resp.StatusCode {
@@ -419,9 +441,19 @@ func (w *worker) post(path, contentType string, body []byte) (*http.Response, er
 			default:
 				return resp, nil
 			}
+		} else {
+			// Transport-level failure: the connection died under us
+			// (refused, reset, timeout) — distinct from a served 5xx.
+			w.report.Reconnects++
 		}
 		if attempt >= w.cfg.Retries {
 			return nil, err
+		}
+		if w.cfg.Resolve != nil {
+			if nb := w.cfg.Resolve(); nb != "" && nb != w.base {
+				w.base = nb
+				w.report.Failovers++
+			}
 		}
 		// Jittered exponential backoff: ±50% around the doubling base.
 		// The service's Retry-After hint wins when longer, clamped to

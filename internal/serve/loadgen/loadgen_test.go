@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/policy"
 	"repro/internal/serve"
 )
@@ -390,6 +391,110 @@ func TestKillAfterRestartLosesNoAcknowledgedFeedback(t *testing.T) {
 		if p.Impressions < recorder.imps[page] {
 			t.Fatalf("page %d recovered %d impressions, %d were acknowledged", page, p.Impressions, recorder.imps[page])
 		}
+	}
+}
+
+// TestClusterKillLeaderLosesNoAcknowledgedFeedback extends the crash
+// scenario above to the 3-node replicated cluster: the leader of shard
+// 0 is SIGKILLed mid-run, a follower is promoted, and every per-page
+// feedback total a front door acknowledged with 202 must be present on
+// the shard's CURRENT leader — the promoted follower for the dead
+// node's shards.
+func TestClusterKillLeaderLosesNoAcknowledgedFeedback(t *testing.T) {
+	const established = 24
+	rec := NewAckRecorder(nil)
+	cl, err := cluster.New(cluster.Options{
+		Nodes:   3,
+		Shards:  4,
+		DataDir: t.TempDir(),
+		Seed:    11,
+		Arms: []serve.Arm{
+			{Name: "control", Policy: policy.Spec{Rule: policy.RuleDeterministic}, Weight: 1},
+			{Name: "explore", Policy: policy.Spec{Rule: policy.RuleSelective, K: 1, R: 0.3}, Weight: 1},
+		},
+		HeartbeatEvery:  20 * time.Millisecond,
+		ElectionTimeout: 250 * time.Millisecond,
+		Logf:            t.Logf,
+		WrapFrontDoor:   rec.Wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < established; i++ {
+		pop := float64(established-i) * 0.05
+		if i%8 == 0 {
+			pop = 0
+		}
+		if err := cl.Add(i, fmt.Sprintf("crashy topic page%d", i), pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := cl.LeaderIndex(0)
+	victimID := cl.Node(victim).ID()
+	requests := 1500
+	if testing.Short() {
+		requests = 600
+	}
+	done := make(chan *Report, 1)
+	go func() {
+		report, err := Run(Config{
+			BaseURL:       cl.FrontDoorURL(victim), // this door dies mid-run
+			Resolve:       cl.FirstAliveFrontDoor,
+			Workers:       4,
+			Requests:      requests,
+			N:             12,
+			Seed:          7,
+			FeedbackBatch: 5,
+			Retries:       8,
+			RetryBackoff:  10 * time.Millisecond,
+			Quality:       func(id int) float64 { return 0.3 },
+		})
+		if err != nil {
+			t.Errorf("loadgen: %v", err)
+		}
+		done <- report
+	}()
+	time.Sleep(200 * time.Millisecond)
+	cl.KillNode(victim)
+	if err := cl.WaitForLeaderChange(0, victimID, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	promoted := cl.LeaderIndex(0)
+	t.Logf("killed %s, promoted %s for shard 0", victimID, cl.Node(promoted).ID())
+	report := <-done
+	if report == nil {
+		t.Fatal("no loadgen report")
+	}
+	if err := cl.WaitConverged(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ackedImps, ackedClks := rec.Acked()
+	if len(ackedImps) == 0 {
+		t.Skip("kill landed before any feedback was acknowledged; nothing to verify")
+	}
+	shards := cl.Node(promoted).Corpus().Shards()
+	for page, imps := range ackedImps {
+		li := cl.LeaderIndex(serve.ShardIndex(page, shards))
+		if li < 0 {
+			t.Fatalf("page %d: shard has no live leader", page)
+		}
+		st, ok := cl.Node(li).Corpus().Page(page)
+		if !ok {
+			t.Fatalf("acknowledged page %d missing on leader %s", page, cl.Node(li).ID())
+		}
+		if st.Impressions < imps || st.Clicks < ackedClks[page] {
+			t.Fatalf("page %d: leader %s holds %d imp / %d clk, acked %d / %d",
+				page, cl.Node(li).ID(), st.Impressions, st.Clicks, imps, ackedClks[page])
+		}
+	}
+	if report.Failovers == 0 {
+		t.Error("loadgen never re-resolved off the dead front door")
 	}
 }
 

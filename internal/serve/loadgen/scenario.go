@@ -20,6 +20,10 @@
 //     delta overlay while traffic flows; removed pages must stay gone.
 //   - disk-storm: a mid-run fsync-error + disk-full storm, then a crash;
 //     recovery must hold every acknowledged event (at-least-once).
+//   - leader-kill: a 3-node replicated cluster loses a shard leader to
+//     SIGKILL mid-run; a follower must be promoted, no 202-acknowledged
+//     feedback may be lost, the write outage must stay bounded, and the
+//     pre/post-failover rankings must stay Kendall-tau close.
 package loadgen
 
 import (
@@ -33,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faultfs"
 	"repro/internal/policy"
 	"repro/internal/serve"
@@ -109,6 +114,12 @@ type ScenarioResult struct {
 	// Disk-storm accounting.
 	RecoveredExactly bool // recovery held every acknowledged event
 
+	// Leader-kill accounting.
+	KilledNode   string        // the SIGKILLed leader
+	PromotedNode string        // the follower that won the election
+	OutageWindow time.Duration // kill → first 202 write on a survivor
+	AckedLost    int           // acked pages under-counted after failover (must be 0)
+
 	Failures []string
 }
 
@@ -137,6 +148,10 @@ func (r *ScenarioResult) String() string {
 	if r.ProvenanceHeld > 0 || r.ProvenanceCapped > 0 {
 		fmt.Fprintf(&b, "provenance: held %d, capped %d\n", r.ProvenanceHeld, r.ProvenanceCapped)
 	}
+	if r.KilledNode != "" {
+		fmt.Fprintf(&b, "failover: killed %s, promoted %s, write outage %v, acked pages lost %d\n",
+			r.KilledNode, r.PromotedNode, r.OutageWindow.Round(time.Millisecond), r.AckedLost)
+	}
 	if r.Divergence != nil {
 		fmt.Fprintf(&b, "%s\n", r.Divergence.String())
 	}
@@ -148,7 +163,7 @@ func (r *ScenarioResult) String() string {
 
 // ScenarioNames lists the runnable scenarios.
 func ScenarioNames() []string {
-	return []string{"click-fraud", "flash-crowd", "churn", "disk-storm"}
+	return []string{"click-fraud", "flash-crowd", "churn", "disk-storm", "leader-kill"}
 }
 
 // RunScenario runs one named scenario to completion and evaluates its
@@ -165,6 +180,8 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioResult, error) {
 		return runChurn(opts)
 	case "disk-storm":
 		return runDiskStorm(opts)
+	case "leader-kill":
+		return runLeaderKill(opts)
 	default:
 		return nil, fmt.Errorf("loadgen: unknown scenario %q (have %s)",
 			name, strings.Join(ScenarioNames(), ", "))
@@ -196,42 +213,45 @@ func (r *ScenarioResult) fillCounters(c *serve.Corpus, rec *AckRecorder) {
 	}
 }
 
+// fetchRanking fetches one seeded, arm-forced ranking and returns the
+// result ids in served order.
+func fetchRanking(client *http.Client, baseURL, query, arm string, n int, seed uint64) ([]int, error) {
+	body, err := json.Marshal(serve.RankRequest{Query: query, N: n, Arm: arm, Seed: &seed})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(baseURL+"/rank", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: ranking probe status %d", resp.StatusCode)
+	}
+	var rr serve.RankResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, err
+	}
+	ids := make([]int, len(rr.Results))
+	for i, it := range rr.Results {
+		ids[i] = it.ID
+	}
+	return ids, nil
+}
+
 // probeDivergence collects probe pairs from the two arms (forced arm,
 // shared seed per pair, so both rank the same corpus state with the
 // same randomness budget) and aggregates their rank divergence.
 func probeDivergence(baseURL, query string, n, probes int, seed uint64) (*DivergenceReport, error) {
 	client := &http.Client{Timeout: 10 * time.Second}
-	fetch := func(arm string, s uint64) ([]int, error) {
-		body, err := json.Marshal(serve.RankRequest{Query: query, N: n, Arm: arm, Seed: &s})
-		if err != nil {
-			return nil, err
-		}
-		resp, err := client.Post(baseURL+"/rank", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("loadgen: divergence probe status %d", resp.StatusCode)
-		}
-		var rr serve.RankResponse
-		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-			return nil, err
-		}
-		ids := make([]int, len(rr.Results))
-		for i, it := range rr.Results {
-			ids[i] = it.ID
-		}
-		return ids, nil
-	}
 	as := make([][]int, 0, probes)
 	bs := make([][]int, 0, probes)
 	for p := 0; p < probes; p++ {
-		a, err := fetch("control", seed+uint64(p))
+		a, err := fetchRanking(client, baseURL, query, "control", n, seed+uint64(p))
 		if err != nil {
 			return nil, err
 		}
-		b, err := fetch("explore", seed+uint64(p))
+		b, err := fetchRanking(client, baseURL, query, "explore", n, seed+uint64(p))
 		if err != nil {
 			return nil, err
 		}
@@ -756,6 +776,198 @@ func runDiskStorm(opts ScenarioOptions) (*ScenarioResult, error) {
 	}
 	if r.Load.Unavailable503 == 0 {
 		r.failf("clients saw no 503s during the storm")
+	}
+	return r, nil
+}
+
+// --- leader-kill -----------------------------------------------------
+
+// runLeaderKill drives loadgen against a 3-node in-process replicated
+// cluster, SIGKILLs the leader of shard 0 mid-run, and holds the
+// cluster to the durability promise: every feedback batch the front
+// door acknowledged with 202 must be present on the promoted leader,
+// the write outage must stay bounded, and the post-failover ranking
+// must stay Kendall-tau close to the pre-kill one (a failover may cost
+// availability for a moment; it may not reshuffle the deck).
+func runLeaderKill(opts ScenarioOptions) (*ScenarioResult, error) {
+	r := &ScenarioResult{Name: "leader-kill"}
+	inject := &faultfs.Injector{}
+	dir, err := scenarioDir()
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// One AckRecorder wraps every node's front door: whichever door
+	// takes the 202, the promise lands in the shared ledger — which is
+	// exactly what survives the leader's death.
+	rec := NewAckRecorder(nil)
+	cl, err := cluster.New(cluster.Options{
+		Nodes:           3,
+		Shards:          2,
+		DataDir:         dir,
+		Arms:            scenarioArms(),
+		Seed:            opts.Seed,
+		Corpus:          func(i int, cfg *serve.Config) { cfg.FaultInjector = inject },
+		HeartbeatEvery:  20 * time.Millisecond,
+		ElectionTimeout: 250 * time.Millisecond,
+		Logf:            opts.Log,
+		WrapFrontDoor:   rec.Wrap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	const pages = 24
+	for i := 0; i < pages; i++ {
+		pop := float64(pages-i) * 0.05
+		if i%6 == 0 {
+			pop = 0
+		}
+		if err := cl.Add(i, fmt.Sprintf("deck page%d", i), pop); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.WaitConverged(10 * time.Second); err != nil {
+		return nil, err
+	}
+
+	victim := cl.LeaderIndex(0)
+	r.KilledNode = cl.Node(victim).ID()
+	baseURL := cl.FrontDoorURL(victim) // the door that will die under the clients
+	shards := cl.Node(victim).Corpus().Shards()
+	probePage := 0
+	for serve.ShardIndex(probePage, shards) != 0 {
+		probePage++
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	const divProbes = 6
+
+	// Honest traffic in the background, resolving the front door afresh
+	// on every retry — the workers must follow the cluster to a
+	// survivor when their door dies mid-request.
+	opts.logf("leader-kill: load starts against %s's front door", r.KilledNode)
+	loadDone := make(chan struct{})
+	var load *Report
+	var loadErr error
+	go func() {
+		defer close(loadDone)
+		load, loadErr = Run(Config{
+			BaseURL:       baseURL,
+			Resolve:       cl.FirstAliveFrontDoor,
+			Workers:       4,
+			Requests:      opts.pick(600, 2400),
+			N:             12,
+			Units:         32,
+			Seed:          opts.Seed + 31,
+			FeedbackBatch: 5,
+			Retries:       8,
+			RetryBackoff:  10 * time.Millisecond,
+			// Quality tracks popularity, so clicks reinforce the standing
+			// order: the ranking the divergence gate compares across the
+			// failover is stable under the traffic itself.
+			Quality: func(id int) float64 { return 0.05 + float64(pages-id)*0.01 },
+		})
+	}()
+
+	time.Sleep(time.Duration(opts.pick(150, 400)) * time.Millisecond)
+
+	// Pre-kill control-arm rankings, probed moments before the kill so
+	// the gate measures what the FAILOVER did to the ranking, not what
+	// the run's own feedback did.
+	pre := make([][]int, 0, divProbes)
+	for p := 0; p < divProbes; p++ {
+		ids, err := fetchRanking(client, baseURL, "", "control", 12, opts.Seed+uint64(p))
+		if err != nil {
+			return nil, err
+		}
+		pre = append(pre, ids)
+	}
+	opts.logf("leader-kill: SIGKILL %s (leader of shard 0)", r.KilledNode)
+	killAt := time.Now()
+	cl.KillNode(victim)
+	if err := cl.WaitForLeaderChange(0, r.KilledNode, 10*time.Second); err != nil {
+		r.failf("no follower was promoted: %v", err)
+		<-loadDone
+		return r, nil
+	}
+	promoted := cl.LeaderIndex(0)
+	r.PromotedNode = cl.Node(promoted).ID()
+	opts.logf("leader-kill: %s promoted for shard 0", r.PromotedNode)
+
+	// The write outage: time from the kill until a survivor's front
+	// door acks a shard-0 write again.
+	surv := cl.FirstAliveFrontDoor()
+	probe := []serve.Event{{Page: probePage, Slot: 1, Impressions: 1, Unit: "outage-probe"}}
+	for postFeedback(client, surv, probe) != http.StatusAccepted {
+		if time.Since(killAt) > 15*time.Second {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	r.OutageWindow = time.Since(killAt)
+
+	// Post-failover rankings, same seeds, from a surviving door.
+	post := make([][]int, 0, divProbes)
+	for p := 0; p < divProbes; p++ {
+		ids, err := fetchRanking(client, surv, "", "control", 12, opts.Seed+uint64(p))
+		if err != nil {
+			return nil, err
+		}
+		post = append(post, ids)
+	}
+	r.Divergence = Divergence("pre-kill", "post-failover", pre, post)
+
+	<-loadDone
+	if loadErr != nil {
+		return nil, loadErr
+	}
+	r.Load = load
+	if err := cl.WaitConverged(15 * time.Second); err != nil {
+		r.failf("cluster did not reconverge after failover: %v", err)
+	}
+
+	// The promise: every page's acknowledged totals must be present on
+	// the CURRENT leader of its shard (>=, never <: a batch that was
+	// 503'd mid-failover and retried may double-count, but an
+	// acknowledged click may never vanish).
+	ackedImps, ackedClks := rec.Acked()
+	for page, clicks := range ackedClks {
+		li := cl.LeaderIndex(serve.ShardIndex(page, shards))
+		if li < 0 {
+			r.AckedLost++
+			r.failf("page %d: shard has no live leader", page)
+			continue
+		}
+		st, ok := cl.Node(li).Corpus().Page(page)
+		if !ok || st.Clicks < clicks || st.Impressions < ackedImps[page] {
+			r.AckedLost++
+			r.failf("page %d: acked %d imp / %d clk, leader %s holds %d / %d",
+				page, ackedImps[page], clicks, cl.Node(li).ID(), st.Impressions, st.Clicks)
+		}
+	}
+	r.fillCounters(cl.Node(promoted).Corpus(), rec)
+
+	// Gates: the kill must have been felt and survived.
+	if r.OutageWindow > 10*time.Second {
+		r.failf("write outage %v exceeded 10s", r.OutageWindow)
+	}
+	if r.Load.Failovers == 0 {
+		r.failf("loadgen never re-resolved off the dead front door")
+	}
+	if r.Load.Reconnects == 0 && r.Load.Unavailable503 == 0 {
+		r.failf("loadgen never observed the kill (no reconnects, no 503s)")
+	}
+	if r.Load.Requests == 0 {
+		r.failf("no rank requests completed")
+	}
+	// The ranking must survive the failover: the promoted follower ranks
+	// from replicated state, so pre/post lists may drift with the
+	// feedback that kept flowing but must not reshuffle.
+	if r.Divergence.MeanTau < 0.4 {
+		r.failf("pre/post-failover rank divergence too high: mean tau %.3f < 0.4", r.Divergence.MeanTau)
 	}
 	return r, nil
 }

@@ -155,6 +155,30 @@ func TestDiskStormScenario(t *testing.T) {
 	}
 }
 
+// TestLeaderKillScenario: a 3-node replicated cluster loses the leader
+// of shard 0 to SIGKILL mid-run; a follower is promoted, no
+// acknowledged feedback is lost, the write outage stays bounded, and
+// the pre/post-failover rankings stay Kendall-tau close.
+func TestLeaderKillScenario(t *testing.T) {
+	r, err := RunScenario("leader-kill", scenarioOpts(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r.String())
+	if !r.Pass() {
+		t.Fatalf("gates failed: %v", r.Failures)
+	}
+	if r.PromotedNode == "" || r.PromotedNode == r.KilledNode {
+		t.Fatalf("no real promotion: killed %q, promoted %q", r.KilledNode, r.PromotedNode)
+	}
+	if r.AckedLost != 0 {
+		t.Fatalf("%d acknowledged pages under-counted after failover", r.AckedLost)
+	}
+	if r.Load.Failovers == 0 {
+		t.Fatal("loadgen never failed over to a surviving front door")
+	}
+}
+
 func TestRunScenarioUnknownName(t *testing.T) {
 	if _, err := RunScenario("no-such-scenario", ScenarioOptions{}); err == nil {
 		t.Fatal("unknown scenario accepted")

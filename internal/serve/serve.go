@@ -135,6 +135,12 @@ type Durability struct {
 	// fsync errors, disk-full and latency spikes. Ignored without
 	// DataDir.
 	FaultInjector *faultfs.Injector
+	// WALSegmentBytes overrides the WAL segment rotation size (0
+	// selects wal.DefaultSegmentBytes). Smaller segments tighten the
+	// truncation granularity behind snapshots — and let cluster tests
+	// exercise follower snapshot catch-up without megabytes of
+	// traffic. Ignored without DataDir.
+	WALSegmentBytes int64
 }
 
 // Config sizes a Corpus. The zero value of every field selects a
@@ -178,6 +184,15 @@ type Config struct {
 	// persistence knobs. Prefer these over the flat twins below.
 	Limits     Limits
 	Durability Durability
+
+	// OnCommit, when non-nil, is invoked by a shard's apply loop after
+	// every successful WAL group commit that appended at least one frame,
+	// with the shard index and the LSN of the last frame now durable. It
+	// runs on the apply goroutine — the one place a wal.Reader over the
+	// freshly committed frames is safe to hand off — so it must return
+	// quickly (signal a channel, bump an atomic); replication shipping
+	// hangs off this hook. Ignored without Durability.DataDir.
+	OnCommit func(shard int, committedLSN uint64)
 
 	// DataDir enables durability from the given directory.
 	//
@@ -253,6 +268,9 @@ func (c Config) normalized() Config {
 	if c.Durability.FaultInjector == nil {
 		c.Durability.FaultInjector = c.FaultInjector
 	}
+	if c.Durability.WALSegmentBytes == 0 {
+		c.Durability.WALSegmentBytes = c.walSegmentBytes
+	}
 	c.RateLimitRPS = c.Limits.RateLimitRPS
 	c.RateLimitBurst = c.Limits.RateLimitBurst
 	c.Provenance = c.Limits.Provenance
@@ -262,6 +280,7 @@ func (c Config) normalized() Config {
 	c.FsyncMode = c.Durability.FsyncMode
 	c.KeepLog = c.Durability.KeepLog
 	c.FaultInjector = c.Durability.FaultInjector
+	c.walSegmentBytes = c.Durability.WALSegmentBytes
 	return c
 }
 
@@ -431,7 +450,18 @@ type applyReq struct {
 	events   []Event
 	remove   []int
 	credited bool // holds one admission credit, released at drain
-	done     chan error
+	// repl carries replicated WAL frames from a leader (pre-decoded,
+	// strictly ascending LSNs): the follower appends the raw payloads to
+	// its own log — producing byte-identical frames — commits, and
+	// applies them through the same liveAdd/liveEvent path as local
+	// traffic. Mutually exclusive with add/events/remove in one request.
+	repl []ReplFrame
+	// snapInstall replaces an EMPTY shard's state with a leader-shipped
+	// snapshot (catch-up when the leader's WAL tail was truncated): the
+	// shard's log is reset past the snapshot LSN and the snapshot is
+	// persisted locally before the state loads.
+	snapInstall *store.Snapshot
+	done        chan error
 }
 
 // snapshot is a shard's immutable published view. pool carries birth
@@ -450,6 +480,7 @@ type shard struct {
 	shardState
 
 	cfg Config
+	id  int // shard index, for the OnCommit replication hook
 	ch  chan applyReq
 
 	// credits counts admission-controlled batches admitted but not yet
@@ -502,6 +533,17 @@ type shard struct {
 	walFailures atomic.Uint64
 	walErr      atomic.Pointer[string]
 	lastSnap    time.Time // apply-loop only
+
+	// committedLSN is the last WAL position made durable (advanced after
+	// each successful group commit, after recovery replay, and after a
+	// replica snapshot install). Replication ships frames up to here and
+	// followers report it as their ack position.
+	committedLSN atomic.Uint64
+	// notLeader, when set, refuses local writes (Add/Feedback/Remove)
+	// with ErrNotLeader: the shard is a replication follower and its
+	// state may only advance through frames shipped from the leader —
+	// interleaving a locally assigned LSN would fork the log.
+	notLeader atomic.Bool
 }
 
 // Corpus is the live sharded corpus behind the service. All methods are
@@ -535,7 +577,19 @@ type Corpus struct {
 
 	idxMu sync.Mutex // serializes Add's index insert + birth-seq pairing
 	idx   *searchidx.Index
-	seq   int // birth sequence = next dense slot, guarded by idxMu
+	seq   int // birth watermark (highest birth ever seen + 1), guarded by idxMu
+	// nextBirth is the per-shard stride counter: shard si's k-th page is
+	// born at k*Shards+si, so birth sequences are unique per shard — the
+	// property that lets a replication cluster place shard leaders on
+	// different nodes, each allocating births independently, and still
+	// ship WAL records verbatim with no cross-shard slot collisions.
+	// Guarded by idxMu; raised past any birth observed from replication
+	// or recovery (legacy globally-sequential births included, keyed by
+	// their residue).
+	nextBirth []int
+	// replHealth, when set, augments Health() with the cluster layer's
+	// replication roles and lag (the /v1/healthz surface).
+	replHealth atomic.Pointer[func() *ReplicationHealth]
 
 	qcache      *queryCache // nil when disabled
 	cacheHits   atomic.Uint64
@@ -570,6 +624,7 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 		return nil, err
 	}
 	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), arms: arms, durable: cfg.DataDir != "", table: newPageTable()}
+	c.nextBirth = make([]int, cfg.Shards)
 	c.armIdx = make(map[string]*armState, len(arms))
 	for _, a := range arms {
 		c.armIdx[a.name] = a
@@ -598,6 +653,7 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	for i := range c.shards {
 		sh := &shard{
 			cfg:      cfg,
+			id:       i,
 			arms:     c.armIdx,
 			armOrder: arms,
 			tallies:  make([]armTally, len(arms)),
@@ -659,24 +715,37 @@ func (c *Corpus) shardFor(id int) *shard {
 // The search index keys the document by its birth sequence — the page's
 // dense stat slot — so query retrieval streams slot indexes directly;
 // byID records the pairing for the by-id read paths.
+//
+// Births are allocated per shard with stride Shards (shard si's k-th
+// page is born at k*Shards+si): deterministic from the shard's own add
+// order alone, so a replication follower applying the shard leader's
+// WAL records assigns the exact same dense slots, and leaders of
+// different shards on different nodes can never collide.
 func (c *Corpus) Add(id int, text string, popularity float64) error {
 	if popularity < 0 {
 		return fmt.Errorf("serve: negative popularity %v for page %d", popularity, id)
+	}
+	sh := c.shardFor(id)
+	if sh.notLeader.Load() {
+		return ErrNotLeader
 	}
 	c.idxMu.Lock()
 	if v, ok := c.byID.Load(id); ok && v.(int64)&1 == 0 {
 		c.idxMu.Unlock()
 		return fmt.Errorf("serve: page %d already indexed", id)
 	}
-	birth := c.seq
+	birth := c.nextBirth[sh.id]*len(c.shards) + sh.id
 	if err := c.idx.Add(searchidx.Document{ID: birth, Text: text}); err != nil {
 		c.idxMu.Unlock()
 		return fmt.Errorf("serve: page %d: %w", id, err)
 	}
-	c.seq++
+	c.nextBirth[sh.id]++
+	if birth+1 > c.seq {
+		c.seq = birth + 1
+	}
 	c.byID.Store(id, int64(birth)<<1)
 	c.idxMu.Unlock()
-	c.shardFor(id).ch <- applyReq{add: []AddRecord{{ID: id, Text: text, Popularity: popularity, Birth: birth}}}
+	sh.ch <- applyReq{add: []AddRecord{{ID: id, Text: text, Popularity: popularity, Birth: birth}}}
 	return nil
 }
 
@@ -718,6 +787,14 @@ func (c *Corpus) feedback(events []Event, admission bool) error {
 		}
 		si := int(uint(e.Page) % uint(len(c.shards)))
 		batches[si] = append(batches[si], e)
+	}
+	// A follower shard's state may only advance through replicated
+	// frames; refuse before reserving credits or enqueuing anything, so
+	// the client can re-route the whole batch to the leader.
+	for si, b := range batches {
+		if len(b) > 0 && c.shards[si].notLeader.Load() {
+			return ErrNotLeader
+		}
 	}
 	if admission {
 		// All-or-nothing credit reservation: either every target shard
@@ -795,6 +872,9 @@ func (c *Corpus) pageAware(id int) (exists, aware bool) {
 // the shard-state removal is enqueued on its apply loop, logged like
 // every other mutation. Returns false when the page is not indexed.
 func (c *Corpus) Remove(id int) bool {
+	if c.shardFor(id).notLeader.Load() {
+		return false
+	}
 	c.idxMu.Lock()
 	v, ok := c.byID.Load(id)
 	if !ok || v.(int64)&1 != 0 {
@@ -1478,10 +1558,25 @@ func (sh *shard) run() {
 			}
 		}
 		if sh.killed != nil && sh.killed.Load() {
-			// Crash simulation: abandon the queue exactly as a dead
-			// process would — nothing here was acknowledged.
+			// Crash simulation: nothing here was acknowledged. Nack the
+			// waiters (from outside, a dying process looks like an error,
+			// not a hang) and abandon the rest exactly as a dead process
+			// would.
+			for _, r := range reqs {
+				if r.done != nil {
+					r.done <- errKilled
+					close(r.done)
+				}
+			}
 			sh.shutdown()
 			return
+		}
+		// Replica snapshot installs are standalone — they reset the
+		// shard's (empty) log before anything else may append to it.
+		for ri := range reqs {
+			if reqs[ri].snapInstall != nil {
+				sh.handleSnapInstall(&reqs[ri])
+			}
 		}
 		// Additions and removals retained from a previously failed
 		// commit lead the batch: their index-side effects are already
@@ -1499,7 +1594,21 @@ func (sh *shard) run() {
 		// health counters along with the log's own rollback.
 		startLSN := sh.st.Log.NextLSN()
 		prevLag := sh.walLag.Load()
-		for _, r := range reqs {
+		var replErrs []error
+		for ri := range reqs {
+			r := &reqs[ri]
+			if r.snapInstall != nil {
+				continue // handled above
+			}
+			if len(r.repl) > 0 {
+				if err := sh.appendRepl(r); err != nil {
+					if replErrs == nil {
+						replErrs = make([]error, len(reqs))
+					}
+					replErrs[ri] = err
+				}
+				continue
+			}
 			for _, a := range r.add {
 				sh.mustEnd(appendAddRecord(sh.mustBegin(), a, now))
 			}
@@ -1546,12 +1655,32 @@ func (sh *shard) run() {
 			continue
 		}
 		sh.walErr.Store(nil)
+		endLSN := sh.st.Log.NextLSN() - 1
+		sh.committedLSN.Store(endLSN)
 		// One publish per drained group, not per request: the group
 		// boundary that amortizes the fsync amortizes the top-list
 		// rebuild too. It lands before the done channels close, so the
 		// Sync/ack contract (applied AND published) holds.
 		dirty := false
 		for _, r := range reqs {
+			for _, f := range r.repl {
+				// Replicated records apply with the timestamp the leader
+				// logged — identical to recovery replaying the same frame.
+				switch f.rec.kind {
+				case recKindAdd:
+					if sh.liveAdd(f.rec.add) {
+						dirty = true
+					}
+				case recKindEvent:
+					if sh.liveEvent(f.rec.event, f.rec.nanos) {
+						dirty = true
+					}
+				case recKindRemove:
+					if sh.applyRemove(f.rec.remove) {
+						dirty = true
+					}
+				}
+			}
 			for _, a := range r.add {
 				if sh.liveAdd(a) {
 					dirty = true
@@ -1571,10 +1700,21 @@ func (sh *shard) run() {
 		if dirty {
 			sh.publish()
 		}
-		for _, r := range reqs {
-			if r.done != nil {
-				close(r.done)
+		for ri := range reqs {
+			r := &reqs[ri]
+			if r.done == nil {
+				continue
 			}
+			if replErrs != nil && replErrs[ri] != nil {
+				// The valid prefix of the replicated batch committed and
+				// applied; the error tells the session where continuity
+				// broke so it can re-sync from committedLSN+1.
+				r.done <- replErrs[ri]
+			}
+			close(r.done)
+		}
+		if sh.cfg.OnCommit != nil && endLSN >= startLSN {
+			sh.cfg.OnCommit(sh.id, endLSN)
 		}
 		sh.maybeSnapshot()
 		if closed {

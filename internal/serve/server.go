@@ -480,6 +480,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrOverloaded):
 		s.feedback429.Add(1)
 		httpError(w, http.StatusTooManyRequests, ErrCodeOverloaded, time.Second, "feedback queue full, retry with backoff")
+	case errors.Is(err, ErrNotLeader):
+		// 503 so generic clients back off and retry; the not_leader code
+		// tells cluster-aware clients to re-resolve the front door first.
+		s.feedback503.Add(1)
+		httpError(w, http.StatusServiceUnavailable, ErrCodeNotLeader, time.Second, "this node does not lead the target shard: %v", err)
 	default:
 		s.feedback503.Add(1)
 		httpError(w, http.StatusServiceUnavailable, ErrCodeUnavailable, 2*time.Second, "feedback not durable: %v", err)
@@ -599,6 +604,11 @@ const (
 	// now (e.g. feedback could not be made durable, or recovery is in
 	// progress); the batch was nacked and may be retried.
 	ErrCodeUnavailable = "unavailable"
+	// ErrCodeNotLeader: a write targeted a shard this node follows
+	// rather than leads; nothing was enqueued. Re-resolve the cluster
+	// front door (or consult /v1/healthz replication roles) and retry
+	// against the leader.
+	ErrCodeNotLeader = "not_leader"
 )
 
 // ErrorInfo is the payload of the unified error envelope every endpoint

@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/faultfs"
@@ -115,7 +116,22 @@ type Shard struct {
 	Log *wal.Log
 	// Recover is what wal.Open found: retained LSN range and torn bytes.
 	Recover wal.RecoverInfo
+	// truncFloor holds back WAL truncation: WriteSnapshot never deletes
+	// segments containing records above this LSN, regardless of snapshot
+	// retention. A replication leader sets it to the minimum LSN its
+	// registered followers have acknowledged, so a lagging follower can
+	// always resume from frames instead of a full snapshot. Initialized
+	// to NoTruncateFloor (no constraint).
+	truncFloor atomic.Uint64
 }
+
+// NoTruncateFloor disables the truncation floor (the default).
+const NoTruncateFloor = ^uint64(0)
+
+// SetTruncateFloor bounds WAL truncation: records with LSN > lsn stay on
+// disk across snapshots until the floor is raised. Safe for concurrent
+// use with WriteSnapshot.
+func (sh *Shard) SetTruncateFloor(lsn uint64) { sh.truncFloor.Store(lsn) }
 
 // Store is an open data directory.
 type Store struct {
@@ -220,7 +236,9 @@ func open(dir string, want *Meta, walOpts wal.Options) (*Store, error) {
 			s.Close()
 			return nil, fmt.Errorf("store: shard %d: %w", i, err)
 		}
-		s.shards = append(s.shards, &Shard{dir: sdir, inject: walOpts.Inject, Log: l, Recover: info})
+		sh := &Shard{dir: sdir, inject: walOpts.Inject, Log: l, Recover: info}
+		sh.truncFloor.Store(NoTruncateFloor)
+		s.shards = append(s.shards, sh)
 	}
 	return s, nil
 }
@@ -427,7 +445,11 @@ func (sh *Shard) WriteSnapshot(snap *Snapshot, keepLog bool) error {
 	if retained, err := sh.snapshotLSNs(); err != nil {
 		return err
 	} else if len(retained) >= 2 {
-		return sh.Log.TruncateBefore(retained[len(retained)-2])
+		limit := retained[len(retained)-2]
+		if floor := sh.truncFloor.Load(); floor < limit {
+			limit = floor
+		}
+		return sh.Log.TruncateBefore(limit)
 	}
 	return nil
 }
@@ -439,6 +461,16 @@ const snapMagic = "SDSNAP"
 const snapVersion = 1
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodeSnapshot serializes a snapshot in the on-disk format. The
+// replication catch-up path ships exactly these bytes to a follower
+// whose requested WAL position has been truncated away, so wire and
+// disk stay one format.
+func EncodeSnapshot(s *Snapshot) []byte { return encodeSnapshot(s) }
+
+// DecodeSnapshot parses EncodeSnapshot's output, verifying magic,
+// version and the CRC trailer.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return decodeSnapshot(data) }
 
 func encodeSnapshot(s *Snapshot) []byte {
 	b := []byte(snapMagic)

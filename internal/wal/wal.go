@@ -39,6 +39,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/faultfs"
 )
@@ -90,6 +91,10 @@ var ErrCorrupt = errors.New("wal: interior corruption")
 
 const (
 	frameHeader = 8 // uint32 length + uint32 crc
+	// FrameOverhead is the framing cost per record on disk — what a
+	// payload of n bytes adds to the log beyond n. Replication uses it
+	// to account byte lag without re-framing.
+	FrameOverhead = int64(frameHeader)
 	// MaxRecord bounds a single record payload; a frame claiming more is
 	// treated as corruption rather than a 4GB allocation.
 	MaxRecord = 16 << 20
@@ -147,14 +152,25 @@ type RecoverInfo struct {
 
 // Log is an open write-ahead log. It is not safe for concurrent use; the
 // serving layer gives each shard its own Log owned by the shard's single
-// apply goroutine.
+// apply goroutine. The two exceptions are Reader and FirstLSN, which may
+// be called from other goroutines: replication ships committed frames
+// from a separate goroutine while the apply loop keeps committing, so
+// the segment metadata those two read is guarded by segMu.
 type Log struct {
-	dir      string
-	opts     Options
+	dir  string
+	opts Options
+	// segMu guards segments metadata (the slice and the per-segment
+	// size/last fields) for cross-goroutine readers; all other state is
+	// owned by the single appending goroutine.
+	segMu    sync.Mutex
 	segments []segment
-	active   *os.File
-	buf      []byte // frames appended since the last Commit
-	bufFirst uint64 // LSN of the first buffered frame
+	// firstRetained is the LSN of the oldest record still on disk (or,
+	// on an empty log, the LSN the next record will get). Guarded by
+	// segMu so FirstLSN never touches nextLSN cross-goroutine.
+	firstRetained uint64
+	active        *os.File
+	buf           []byte // frames appended since the last Commit
+	bufFirst      uint64 // LSN of the first buffered frame
 	// pendingStart is the buffer offset of an open BeginRecord frame
 	// (meaningful only between BeginRecord and EndRecord).
 	pendingStart int
@@ -235,6 +251,11 @@ func Open(dir string, opts Options) (*Log, RecoverInfo, error) {
 	} else {
 		info.FirstLSN = 1
 		info.LastLSN = 0
+	}
+	if len(l.segments) > 0 {
+		l.firstRetained = l.segments[0].first
+	} else {
+		l.firstRetained = l.nextLSN
 	}
 	return l, info, nil
 }
@@ -406,9 +427,11 @@ func (l *Log) Commit() error {
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
+	l.segMu.Lock()
 	seg := &l.segments[len(l.segments)-1]
 	seg.size += int64(len(l.buf))
 	seg.last = l.nextLSN - 1
+	l.segMu.Unlock()
 	l.size += int64(len(l.buf))
 	l.buf = l.buf[:0]
 	if l.dirSync {
@@ -417,7 +440,7 @@ func (l *Log) Commit() error {
 		}
 		l.dirSync = false
 	}
-	if seg.size >= l.opts.SegmentBytes {
+	if l.activeSize() >= l.opts.SegmentBytes {
 		if err := l.active.Close(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -447,12 +470,21 @@ func (l *Log) DropBuffered() error {
 // active fd is opened O_APPEND, so subsequent writes continue at the
 // new end of file.
 func (l *Log) rollback() error {
-	seg := &l.segments[len(l.segments)-1]
+	l.segMu.Lock()
+	seg := l.segments[len(l.segments)-1]
+	l.segMu.Unlock()
 	if err := os.Truncate(seg.path, seg.size); err != nil {
 		return fmt.Errorf("wal: rollback: %w", err)
 	}
 	l.dirty = false
 	return nil
+}
+
+// activeSize returns the committed size of the final segment.
+func (l *Log) activeSize() int64 {
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
+	return l.segments[len(l.segments)-1].size
 }
 
 // write appends p to the active segment, through the injector when one
@@ -488,7 +520,12 @@ func (l *Log) ensureActive() error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	l.segMu.Lock()
 	l.segments = append(l.segments, segment{path: path, first: l.bufFirst, last: l.bufFirst - 1})
+	if len(l.segments) == 1 {
+		l.firstRetained = l.bufFirst
+	}
+	l.segMu.Unlock()
 	l.active = f
 	// Reserve the segment's extents up front (keeping the logical size at
 	// zero), so commits append into preallocated blocks instead of taking
@@ -502,6 +539,17 @@ func (l *Log) ensureActive() error {
 
 // NextLSN returns the LSN the next appended record will get.
 func (l *Log) NextLSN() uint64 { return l.nextLSN }
+
+// FirstLSN returns the LSN of the oldest record still retained on disk
+// (truncation moves it forward; on an empty log it is the LSN the next
+// record will get). A replication leader uses it to decide whether a
+// follower's requested start position has been truncated away. Safe to
+// call from goroutines other than the appender.
+func (l *Log) FirstLSN() uint64 {
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
+	return l.firstRetained
+}
 
 // Size returns the total bytes across all retained segments, including
 // buffered-but-uncommitted frames.
@@ -528,7 +576,10 @@ func (l *Log) ResetTo(lsn uint64) error {
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
+	l.segMu.Lock()
 	l.segments = nil
+	l.firstRetained = lsn
+	l.segMu.Unlock()
 	l.buf = l.buf[:0]
 	l.size = 0
 	l.dirty = false
@@ -540,6 +591,8 @@ func (l *Log) ResetTo(lsn uint64) error {
 // lsn. The active (final) segment is never deleted, so the log always
 // retains its append position.
 func (l *Log) TruncateBefore(lsn uint64) error {
+	l.segMu.Lock()
+	defer l.segMu.Unlock()
 	kept := l.segments[:0]
 	for i := range l.segments {
 		seg := l.segments[i]
@@ -553,6 +606,9 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 		kept = append(kept, seg)
 	}
 	l.segments = kept
+	if len(l.segments) > 0 {
+		l.firstRetained = l.segments[0].first
+	}
 	return nil
 }
 
@@ -619,11 +675,17 @@ type Reader struct {
 	lsn      uint64
 }
 
-// Reader returns a cursor over records with LSN >= from. Like Replay,
-// use it before appending (recovery/offline) or after Commit.
+// Reader returns a cursor over records with LSN >= from. The cursor
+// snapshots the segment metadata at creation, so it sees exactly the
+// records committed before this call — frames committed later need a
+// fresh Reader. Safe to call from goroutines other than the appender
+// (replication ships from one); reads are bounded by the committed
+// sizes captured here, so concurrent appends are never parsed.
 func (l *Log) Reader(from uint64) *Reader {
+	l.segMu.Lock()
 	segs := make([]segment, len(l.segments))
 	copy(segs, l.segments)
+	l.segMu.Unlock()
 	return &Reader{segments: segs, from: from}
 }
 
