@@ -13,6 +13,9 @@
 //	-baseline  baseline JSON to compare against; omit to only record
 //	-tol       fractional regression tolerance on ns/op and allocs/op (default 0.25)
 //	-floor-ns  absolute ns/op slack added to the tolerance band (default 50000)
+//	-ratio     relative constraint "A<=1.15xB" between two current-run
+//	           benchmarks (repeatable); fails when A's ns/op exceeds
+//	           1.15 times B's ns/op in THIS run
 //
 // The gate fails (exit 1) when a benchmark present in the baseline is
 // missing from the current run, or when its ns/op or allocs/op exceeds
@@ -26,6 +29,12 @@
 // invocation: a benchmark appearing multiple times keeps its fastest
 // run, the standard noise-robust statistic. New benchmarks absent from
 // the baseline are recorded but not judged.
+//
+// -ratio constraints compare two benchmarks measured in the SAME run,
+// so they hold on any machine regardless of absolute disk speed. They
+// pin relationships the code structure guarantees — e.g. the in-place
+// record path must not be slower than encode-then-copy Append — that
+// an absolute baseline can't express.
 package main
 
 import (
@@ -56,12 +65,49 @@ type File struct {
 	Benchmarks map[string]Record `json:"benchmarks"`
 }
 
+// Ratio is one -ratio constraint: Left's ns/op must not exceed
+// Factor times Right's ns/op in the current run.
+type Ratio struct {
+	Left   string
+	Factor float64
+	Right  string
+}
+
+// ratioExpr matches e.g. "BenchmarkWALAppendRecord<=1.15xBenchmarkWALAppend".
+var ratioExpr = regexp.MustCompile(`^(Benchmark\S+)<=([0-9.]+)x(Benchmark\S+)$`)
+
+// ratioFlags collects repeated -ratio flags.
+type ratioFlags []Ratio
+
+func (r *ratioFlags) String() string {
+	parts := make([]string, len(*r))
+	for i, c := range *r {
+		parts[i] = fmt.Sprintf("%s<=%gx%s", c.Left, c.Factor, c.Right)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *ratioFlags) Set(s string) error {
+	m := ratioExpr.FindStringSubmatch(s)
+	if m == nil {
+		return fmt.Errorf("want NAME<=FACTORxNAME, got %q", s)
+	}
+	factor, err := strconv.ParseFloat(m[2], 64)
+	if err != nil || factor <= 0 {
+		return fmt.Errorf("bad factor in %q", s)
+	}
+	*r = append(*r, Ratio{Left: m[1], Factor: factor, Right: m[3]})
+	return nil
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON record to write (required)")
 	baseline := flag.String("baseline", "", "baseline JSON to compare against")
 	tol := flag.Float64("tol", 0.25, "fractional regression tolerance")
 	floorNs := flag.Float64("floor-ns", 50000, "absolute ns/op slack")
+	var ratios ratioFlags
+	flag.Var(&ratios, "ratio", "current-run constraint NAME<=FACTORxNAME (repeatable)")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -out is required")
@@ -98,6 +144,20 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchdiff: recorded %d benchmarks to %s\n", len(benches), *out)
+
+	// Ratio constraints judge the current run alone, so they apply even
+	// when only recording a fresh baseline.
+	if ratioFailures := CheckRatios(benches, ratios); len(ratioFailures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d ratio constraint(s) violated:\n", len(ratioFailures))
+		for _, f := range ratioFailures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	for _, c := range ratios {
+		fmt.Printf("  ratio ok: %s %.0f ns/op <= %gx %s %.0f ns/op\n",
+			c.Left, benches[c.Left].NsPerOp, c.Factor, c.Right, benches[c.Right].NsPerOp)
+	}
 
 	if *baseline == "" {
 		return
@@ -232,6 +292,31 @@ func Compare(base, cur map[string]Record, tol, floorNs float64) []string {
 		if limit := b.AllocsPerOp*(1+tol) + 0.5; c.AllocsPerOp > limit {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %.1f exceeds %.1f (baseline %.1f)",
 				name, c.AllocsPerOp, limit, b.AllocsPerOp))
+		}
+	}
+	return failures
+}
+
+// CheckRatios evaluates -ratio constraints against the current run's
+// ns/op. Both sides must be present: a constraint naming an unmeasured
+// benchmark is a gate failure, not a silent pass.
+func CheckRatios(cur map[string]Record, ratios []Ratio) []string {
+	var failures []string
+	for _, c := range ratios {
+		left, okL := cur[c.Left]
+		right, okR := cur[c.Right]
+		if !okL {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (needed by ratio constraint)", c.Left))
+		}
+		if !okR && c.Right != c.Left {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run (needed by ratio constraint)", c.Right))
+		}
+		if !okL || !okR {
+			continue
+		}
+		if limit := c.Factor * right.NsPerOp; left.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f exceeds %gx %s (%.0f > %.0f)",
+				c.Left, left.NsPerOp, c.Factor, c.Right, right.NsPerOp, limit))
 		}
 	}
 	return failures

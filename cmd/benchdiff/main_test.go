@@ -107,3 +107,53 @@ func TestCompareGate(t *testing.T) {
 		t.Fatalf("new benchmark judged: %v", fails)
 	}
 }
+
+func TestRatioFlagParsing(t *testing.T) {
+	var r ratioFlags
+	if err := r.Set("BenchmarkWALAppendRecord<=1.15xBenchmarkWALAppend"); err != nil {
+		t.Fatalf("valid constraint rejected: %v", err)
+	}
+	if len(r) != 1 || r[0].Left != "BenchmarkWALAppendRecord" || r[0].Factor != 1.15 || r[0].Right != "BenchmarkWALAppend" {
+		t.Fatalf("parsed = %+v", r)
+	}
+	for _, bad := range []string{
+		"",
+		"BenchmarkA<=BenchmarkB",       // no factor
+		"BenchmarkA<=0x BenchmarkB",    // space in name
+		"BenchmarkA<=0xBenchmarkB",     // zero factor
+		"A<=1.1xBenchmarkB",            // left not a Benchmark name
+		"BenchmarkA>=1.1xBenchmarkB",   // wrong operator
+		"BenchmarkA<=1.1.1xBenchmarkB", // malformed factor
+	} {
+		if err := r.Set(bad); err == nil {
+			t.Fatalf("malformed constraint accepted: %q", bad)
+		}
+	}
+	if got := r.String(); !strings.Contains(got, "BenchmarkWALAppendRecord<=1.15xBenchmarkWALAppend") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestCheckRatios(t *testing.T) {
+	cur := map[string]Record{
+		"BenchmarkWALAppend":       {NsPerOp: 3000},
+		"BenchmarkWALAppendRecord": {NsPerOp: 2700},
+	}
+	within := []Ratio{{Left: "BenchmarkWALAppendRecord", Factor: 1.15, Right: "BenchmarkWALAppend"}}
+	if fails := CheckRatios(cur, within); len(fails) != 0 {
+		t.Fatalf("within-ratio run failed: %v", fails)
+	}
+
+	// Record path regresses past the factor.
+	cur["BenchmarkWALAppendRecord"] = Record{NsPerOp: 3600}
+	fails := CheckRatios(cur, within)
+	if len(fails) != 1 || !strings.Contains(fails[0], "exceeds 1.15x BenchmarkWALAppend") {
+		t.Fatalf("ratio violation not caught: %v", fails)
+	}
+
+	// A side missing from the run fails loudly, not silently.
+	fails = CheckRatios(cur, []Ratio{{Left: "BenchmarkGone", Factor: 2, Right: "BenchmarkAlsoGone"}})
+	if len(fails) != 2 || !strings.Contains(fails[0], "missing") || !strings.Contains(fails[1], "missing") {
+		t.Fatalf("missing sides not caught: %v", fails)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/serve"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // Per-shard replication roles.
@@ -120,11 +121,15 @@ type shardRepl struct {
 	// bytes is reported as frames×avg (an estimate — the WAL keeps no
 	// per-LSN byte index).
 	avgFrameBytes atomic.Int64
-	// notify wakes shipper sessions after each group commit;
-	// ackNotify wakes writers blocked on quorum replication after
-	// each follower ack.
+	// notify wakes shipper sessions after each WAL write, group
+	// commit, or rollback; ackNotify wakes writers blocked on quorum
+	// replication after each follower ack.
 	notify    *commitNotify
 	ackNotify *commitNotify
+	// ring is the in-memory tail of the shard's WAL (framering.go):
+	// the shipping hot path, fed by OnWALWrite before frames are even
+	// durable so network transfer overlaps the leader's own fsync.
+	ring *frameRing
 	// followers maps follower node ID → track, leader side. Tracks
 	// persist across disconnects: a registered follower that goes away
 	// keeps holding WAL truncation at its last acked position, so it
@@ -207,10 +212,25 @@ func NewNode(cfg NodeConfig, coord Coordinator) (*Node, error) {
 		shards: make([]*shardRepl, cfg.Corpus.Shards),
 	}
 	for i := range n.shards {
-		n.shards[i] = &shardRepl{notify: newCommitNotify(), ackNotify: newCommitNotify()}
+		n.shards[i] = &shardRepl{notify: newCommitNotify(), ackNotify: newCommitNotify(), ring: newFrameRing()}
 	}
 	cfg.Corpus.OnCommit = func(shard int, _ uint64) {
 		n.shards[shard].notify.Signal()
+	}
+	// Feed the frame ring as each group commit is written — before its
+	// fsync — so shippers put frames on the wire while the leader's own
+	// durability barrier is still in flight. A failed commit voids the
+	// shipped suffix: DropFrom rewinds the ring and every subscribed
+	// shipper re-ships the replaced LSNs.
+	cfg.Corpus.OnWALWrite = func(shard int, firstLSN uint64, frames []byte) {
+		sr := n.shards[shard]
+		sr.ring.Append(firstLSN, frames)
+		sr.notify.Signal()
+	}
+	cfg.Corpus.OnRollback = func(shard int, fromLSN uint64) {
+		sr := n.shards[shard]
+		sr.ring.DropFrom(fromLSN)
+		sr.notify.Signal()
 	}
 	corpus, err := serve.NewCorpus(cfg.Corpus)
 	if err != nil {
@@ -529,6 +549,7 @@ func (n *Node) followOnce(si int, leaderID, addr string) error {
 		shard:    uint64(si),
 		epoch:    sr.epoch.Load(),
 		startLSN: n.corpus.CommittedLSN(si) + 1,
+		minor:    protoMinor,
 	}
 	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
 	if err := writeMsg(conn, hs.encode()); err != nil {
@@ -577,13 +598,223 @@ func (n *Node) followOnce(si int, leaderID, addr string) error {
 	default:
 		return fmt.Errorf("handshake rejected (%d): %s", rp.status, rp.detail)
 	}
-	return n.followStream(si, sr, conn, br)
+	// A pre-minor leader echoes no minor: fall back to the classic
+	// durable-frames-only stream. Otherwise run the overlapped protocol.
+	return n.followStream(si, sr, conn, br, rp.minor >= 1)
 }
+
+// replBatch is one unit of work handed from a follower session's reader
+// to its applier: a contiguous run of leader-durable frames, plus ack
+// triggers. ackNow asks for a cumulative ack once the applier drains
+// (set on durable advances); hb asks for one even if the position did
+// not move (heartbeat liveness — the leader's ack reader times out on a
+// silent follower).
+type replBatch struct {
+	frames []serve.ReplFrame
+	ackNow bool
+	hb     bool
+}
+
+// maxReplPipeline bounds how many replicated batches a follower session
+// keeps in flight through its corpus's commit pipeline at once.
+const maxReplPipeline = 4
 
 // followStream applies the leader's frame/heartbeat stream until the
 // connection dies, the epoch moves on, or the node's role changes.
-func (n *Node) followStream(si int, sr *shardRepl, conn net.Conn, br *bufio.Reader) error {
+//
+// In overlapped mode (protocol minor ≥ 1) frames may arrive before they
+// are durable on the leader: the reader holds them in session memory —
+// keyed by LSN, so a replacement after a leader-side rollback simply
+// overwrites — and releases contiguous runs to the applier only once a
+// durable{}/heartbeat advertises a covering position. The applier keeps
+// up to maxReplPipeline batches riding the local commit pipeline, so
+// this node's fsync of one window overlaps the application of the next,
+// and acks upstream are cumulative: one per durable advance when keeping
+// up, one per replAckEvery frames while catching up.
+func (n *Node) followStream(si int, sr *shardRepl, conn net.Conn, br *bufio.Reader, overlapped bool) error {
 	readTimeout := n.followReadTimeout()
+	if !overlapped {
+		return n.followStreamLegacy(si, sr, conn, br, readTimeout)
+	}
+
+	applyC := make(chan replBatch, maxReplPipeline)
+	applierDone := make(chan struct{})
+	go func() {
+		defer close(applierDone)
+		var outstanding []func() error
+		lastAcked := n.corpus.CommittedLSN(si)
+		ackPending, hbPending := false, false
+		broken := false
+		fail := func() {
+			broken = true
+			conn.Close() // unblocks the reader; it drains us by closing applyC
+		}
+		harvest := func(keep int) {
+			for len(outstanding) > keep {
+				w := outstanding[0]
+				outstanding = outstanding[1:]
+				if err := w(); err != nil && !broken {
+					n.cfg.Logf("cluster %s: shard %d: replicated apply: %v", n.cfg.ID, si, err)
+					fail()
+				}
+			}
+		}
+		maybeAck := func() {
+			if broken {
+				return
+			}
+			committed := n.corpus.CommittedLSN(si)
+			due := committed-lastAcked >= replAckEvery ||
+				(len(outstanding) == 0 && (hbPending || (ackPending && committed > lastAcked)))
+			if !due {
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			if writeMsg(conn, ack{lsn: committed}.encode()) != nil {
+				fail()
+				return
+			}
+			lastAcked = committed
+			ackPending, hbPending = false, false
+		}
+		for b := range applyC {
+			ackPending = ackPending || b.ackNow
+			hbPending = hbPending || b.hb
+			if len(b.frames) > 0 && !broken {
+				if w, err := n.corpus.ApplyReplicatedAsync(si, b.frames); err != nil {
+					n.cfg.Logf("cluster %s: shard %d: replicated apply: %v", n.cfg.ID, si, err)
+					fail()
+				} else {
+					outstanding = append(outstanding, w)
+				}
+			}
+			harvest(maxReplPipeline - 1)
+			if len(applyC) == 0 {
+				// No more work queued: drain the pipeline so the
+				// cumulative ack below covers everything shipped so far.
+				harvest(0)
+			}
+			maybeAck()
+		}
+		harvest(0)
+		maybeAck()
+	}()
+	defer func() {
+		close(applyC)
+		<-applierDone
+	}()
+
+	held := make(map[uint64][]byte) // pre-durable frames, keyed by LSN
+	applied := n.corpus.CommittedLSN(si)
+	leaderDurable := applied
+	// flushReady hands every held frame the leader has advertised as
+	// durable to the applier, in contiguous chunks.
+	flushReady := func(ackNow, hb bool) {
+		for {
+			var frames []serve.ReplFrame
+			var frameBytes int64
+			for len(frames) < 512 && applied < leaderDurable {
+				p, ok := held[applied+1]
+				if !ok {
+					break
+				}
+				applied++
+				delete(held, applied)
+				frames = append(frames, serve.ReplFrame{LSN: applied, Payload: p})
+				frameBytes += int64(len(p))
+			}
+			if len(frames) == 0 {
+				if ackNow || hb {
+					applyC <- replBatch{ackNow: ackNow, hb: hb}
+				}
+				return
+			}
+			updateAvg(&sr.avgFrameBytes, frameBytes/int64(len(frames)))
+			b := replBatch{frames: frames}
+			if len(frames) < 512 {
+				// Final chunk: the ack triggers ride it.
+				b.ackNow, b.hb = ackNow, hb
+			}
+			applyC <- b
+			if len(frames) < 512 {
+				return
+			}
+		}
+	}
+	for {
+		if !n.running() || sr.role.Load() != roleFollower {
+			return nil
+		}
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		body, err := readMsg(br, maxFrameMsg)
+		if err != nil {
+			return err
+		}
+		switch body[0] {
+		case msgFrame:
+			f, err := decodeFrameMsg(body)
+			if err != nil {
+				return err
+			}
+			if err := n.checkEpoch(sr, f.epoch); err != nil {
+				return err
+			}
+			sr.lastHB.Store(time.Now().UnixNano())
+			if f.lsn > applied {
+				// Provisional until a durable advance covers it; a
+				// replacement for a rolled-back LSN overwrites here.
+				held[f.lsn] = f.payload
+			}
+			// Batch greedily: release once the socket goes quiet.
+			if br.Buffered() > 0 && len(held) < 8192 {
+				continue
+			}
+			flushReady(false, false)
+		case msgDurable:
+			d, err := decodeDurableMsg(body)
+			if err != nil {
+				return err
+			}
+			if err := n.checkEpoch(sr, d.epoch); err != nil {
+				return err
+			}
+			sr.lastHB.Store(time.Now().UnixNano())
+			if d.lsn > leaderDurable {
+				leaderDurable = d.lsn
+			}
+			if d.lsn > sr.leaderCommit.Load() {
+				sr.leaderCommit.Store(d.lsn)
+			}
+			if br.Buffered() > 0 {
+				continue // more of the burst is right behind; flush once
+			}
+			flushReady(true, false)
+		case msgHeartbeat:
+			hb, err := decodeHeartbeat(body)
+			if err != nil {
+				return err
+			}
+			if err := n.checkEpoch(sr, hb.epoch); err != nil {
+				return err
+			}
+			sr.lastHB.Store(time.Now().UnixNano())
+			if hb.commitLSN > leaderDurable {
+				leaderDurable = hb.commitLSN
+			}
+			if hb.commitLSN > sr.leaderCommit.Load() {
+				sr.leaderCommit.Store(hb.commitLSN)
+			}
+			flushReady(false, true)
+		default:
+			return fmt.Errorf("unexpected message kind %q mid-stream", body[0])
+		}
+	}
+}
+
+// followStreamLegacy is the minor-0 stream: every shipped frame is
+// already durable on the leader, applied immediately and acked per
+// batch.
+func (n *Node) followStreamLegacy(si int, sr *shardRepl, conn net.Conn, br *bufio.Reader, readTimeout time.Duration) error {
 	var pending []serve.ReplFrame
 	flush := func() error {
 		if len(pending) == 0 {
@@ -769,7 +1000,15 @@ func (n *Node) serveSession(conn net.Conn) {
 	if snap != nil {
 		status = replySnapshot
 	}
-	if !n.sendReply(conn, reply{status: status, epoch: myEpoch}) {
+	// Run the session at the lower of the two minors; echo ours only to
+	// a minor-advertising follower (a strict minor-0 decoder rejects
+	// trailing bytes).
+	minor := min(hs.minor, protoMinor)
+	rp := reply{status: status, epoch: myEpoch}
+	if hs.minor >= 1 {
+		rp.minor = protoMinor
+	}
+	if !n.sendReply(conn, rp) {
 		return
 	}
 	if snap != nil {
@@ -804,7 +1043,7 @@ func (n *Node) serveSession(conn net.Conn) {
 			}
 		}
 	}()
-	n.shipFrames(si, sr, conn, myEpoch, start)
+	n.shipFrames(si, sr, conn, myEpoch, start, track, minor)
 	conn.Close()
 	<-ackDone
 }
@@ -814,61 +1053,177 @@ func (n *Node) sendReply(conn net.Conn, rp reply) bool {
 	return writeMsg(conn, rp.encode()) == nil
 }
 
-// shipFrames streams committed WAL frames from pos onward, heartbeating
-// while idle, until the connection dies or this node stops leading the
-// shard at the session epoch.
-func (n *Node) shipFrames(si int, sr *shardRepl, conn net.Conn, epoch, pos uint64) {
+// Shipping tunables. replWindow is the windowed-credit bound: the
+// leader stops streaming when the frames in flight beyond the
+// follower's cumulative ack reach it, so a slow follower backpressures
+// the stream instead of buffering without bound. replAckEvery is the
+// follower's catch-up ack granularity (a quarter window keeps the
+// leader's credit from ever draining while the follower makes
+// progress). shipBatchBytes packs frames into large socket writes.
+const (
+	replWindow     = 4096
+	replAckEvery   = replWindow / 4
+	shipBatchBytes = 256 << 10
+)
+
+// shipFrames streams the shard's WAL frames from pos onward,
+// heartbeating while idle, until the connection dies or this node stops
+// leading the shard at the session epoch.
+//
+// The hot path reads from the in-memory frame ring, which is fed the
+// moment each group commit's frames are WRITTEN — at minor ≥ 1 the
+// stream runs ahead of the leader's own fsync (network transfer and
+// local durability overlap), with durable{} messages advertising the
+// committed position as it advances and a rewind mark forcing re-ship
+// of any LSNs a failed commit rolled back. A follower too far behind
+// the ring is served from a (reused) WAL reader over the durable
+// prefix until it rejoins the ring. At minor 0 shipping is capped at
+// the committed position — the classic durable-frames-only stream.
+func (n *Node) shipFrames(si int, sr *shardRepl, conn net.Conn, epoch, pos uint64, track *followerTrack, minor uint64) {
+	overlapped := minor >= 1
 	hb := time.NewTicker(n.cfg.HeartbeatEvery)
 	defer hb.Stop()
-	var out bytes.Buffer
+	var mark *rewindMark
+	if overlapped {
+		mark = sr.ring.Subscribe()
+		defer sr.ring.Unsubscribe(mark)
+	}
+	var (
+		out         bytes.Buffer
+		scratch     []byte
+		rd          *wal.Reader
+		rdPos       uint64
+		lastDurable uint64
+	)
+	sendHB := func(committed uint64) bool {
+		msg := heartbeat{epoch: epoch, commitLSN: committed, nanos: uint64(time.Now().UnixNano())}
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		return writeMsg(conn, msg.encode()) == nil
+	}
+	idle := func(committed uint64) bool {
+		select {
+		case <-n.stop:
+			return false
+		case <-sr.notify.Wait():
+			return true
+		case <-sr.ackNotify.Wait():
+			return true
+		case <-hb.C:
+			return sendHB(committed)
+		}
+	}
 	for {
 		if !n.running() || sr.role.Load() != roleLeader || sr.epoch.Load() != epoch {
 			return
 		}
+		if mark != nil {
+			if floor, ok := mark.take(); ok && floor < pos {
+				pos, rd = floor, nil
+			}
+		}
 		committed := n.corpus.CommittedLSN(si)
-		if pos <= committed {
-			rd := n.corpus.WALReader(si, pos)
-			for pos <= committed {
-				out.Reset()
-				var frames, frameBytes int64
-				// Pack frames into ~256KiB writes.
-				for pos <= committed && out.Len() < 256<<10 {
-					lsn, payload, ok, err := rd.Next()
-					if err != nil || !ok || lsn != pos {
-						// Reader raced truncation or hit a gap; the
-						// follower will re-handshake and, if needed,
-						// catch up from a snapshot.
-						n.cfg.Logf("cluster %s: shard %d: ship read at %d: ok=%v err=%v", n.cfg.ID, si, pos, ok, err)
-						return
-					}
-					if err := writeMsg(&out, appendFrameMsg(nil, epoch, lsn, payload)); err != nil {
-						return
-					}
-					frames++
-					frameBytes += int64(len(payload))
-					pos++
-				}
-				conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-				if _, err := conn.Write(out.Bytes()); err != nil {
+		if overlapped && committed > lastDurable {
+			lastDurable = committed
+			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			if writeMsg(conn, durableMsg{epoch: epoch, lsn: committed}.encode()) != nil {
+				return
+			}
+		}
+		limit := committed
+		if overlapped {
+			if next := sr.ring.NextLSN(); next > 0 && next-1 > limit {
+				limit = next - 1
+			}
+			// Windowed credit: wait for acks once the unacked span fills
+			// the window.
+			if acked := track.acked.Load(); pos > acked && pos-acked > replWindow {
+				if !idle(committed) {
 					return
 				}
-				if frames > 0 {
-					updateAvg(&sr.avgFrameBytes, frameBytes/frames)
-				}
+				continue
+			}
+		}
+		if pos > limit {
+			// Caught up: wait for the next write, commit or ack.
+			if !idle(committed) {
+				return
 			}
 			continue
 		}
-		// Caught up: wait for the next commit or heartbeat tick.
-		select {
-		case <-n.stop:
-			return
-		case <-sr.notify.Wait():
-		case <-hb.C:
-			msg := heartbeat{epoch: epoch, commitLSN: committed, nanos: uint64(time.Now().UnixNano())}
-			conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-			if err := writeMsg(conn, msg.encode()); err != nil {
+		if payloads, ok := sr.ring.Read(pos, limit, shipBatchBytes); ok {
+			rd = nil
+			out.Reset()
+			var frameBytes int64
+			for _, p := range payloads {
+				scratch = appendFrameMsg(scratch[:0], epoch, pos, p)
+				if err := writeMsg(&out, scratch); err != nil {
+					return
+				}
+				frameBytes += int64(len(p))
+				pos++
+			}
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Write(out.Bytes()); err != nil {
 				return
 			}
+			if len(payloads) > 0 {
+				updateAvg(&sr.avgFrameBytes, frameBytes/int64(len(payloads)))
+			}
+			continue
+		}
+		// The ring cannot serve pos. Frames past the durable prefix will
+		// land in the ring (or roll back) shortly — wait; durable frames
+		// evicted from the ring stream from the WAL itself through a
+		// reader reused until it is exhausted.
+		if pos > committed {
+			if !idle(committed) {
+				return
+			}
+			continue
+		}
+		fresh := false
+		if rd == nil || rdPos != pos {
+			rd, rdPos, fresh = n.corpus.WALReader(si, pos), pos, true
+		}
+		out.Reset()
+		var frames, frameBytes int64
+		for pos <= committed && out.Len() < shipBatchBytes {
+			lsn, payload, ok, err := rd.Next()
+			if err != nil || (ok && lsn != pos) {
+				// Reader raced truncation or hit a gap; the follower
+				// will re-handshake and, if needed, catch up from a
+				// snapshot.
+				n.cfg.Logf("cluster %s: shard %d: ship read at %d: ok=%v err=%v", n.cfg.ID, si, pos, ok, err)
+				return
+			}
+			if !ok {
+				// The reader's snapshot of the log ran out. A fresh one
+				// must cover pos ≤ committed; a stale one just needs
+				// recreating.
+				if fresh {
+					n.cfg.Logf("cluster %s: shard %d: ship read at %d: log ends early", n.cfg.ID, si, pos)
+					return
+				}
+				rd = nil
+				break
+			}
+			scratch = appendFrameMsg(scratch[:0], epoch, lsn, payload)
+			if err := writeMsg(&out, scratch); err != nil {
+				return
+			}
+			frames++
+			frameBytes += int64(len(payload))
+			pos++
+			rdPos = pos
+		}
+		if out.Len() > 0 {
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if _, err := conn.Write(out.Bytes()); err != nil {
+				return
+			}
+		}
+		if frames > 0 {
+			updateAvg(&sr.avgFrameBytes, frameBytes/frames)
 		}
 	}
 }
@@ -985,7 +1340,7 @@ func (n *Node) guardHandler(inner http.Handler) http.Handler {
 				return
 			}
 		}
-		if r.Method == http.MethodPost && (r.URL.Path == "/feedback" || r.URL.Path == "/v1/feedback") {
+		if r.Method == http.MethodPost && (r.URL.Path == "/feedback" || r.URL.Path == "/v1/feedback" || r.URL.Path == "/v1/feedback/batch") {
 			n.serveFeedbackSync(inner, w, r)
 			return
 		}
@@ -1010,12 +1365,20 @@ func (n *Node) serveFeedbackSync(inner http.Handler, w http.ResponseWriter, r *h
 		inner.ServeHTTP(w, r) // let the inner handler shape the error
 		return
 	}
-	var req serve.FeedbackRequest
-	touched := make(map[int]bool)
-	if json.Unmarshal(body, &req) == nil {
-		for _, ev := range req.Events {
-			touched[serve.ShardIndex(ev.Page, n.corpus.Shards())] = true
+	var events []serve.Event
+	if r.Header.Get("Content-Type") == serve.BatchContentType {
+		if evs, err := serve.DecodeFeedbackBatchRequest(body); err == nil {
+			events = evs
 		}
+	} else {
+		var req serve.FeedbackRequest
+		if json.Unmarshal(body, &req) == nil {
+			events = req.Events
+		}
+	}
+	touched := make(map[int]bool)
+	for _, ev := range events {
+		touched[serve.ShardIndex(ev.Page, n.corpus.Shards())] = true
 	}
 	r2 := r.Clone(r.Context())
 	r2.Body = io.NopCloser(bytes.NewReader(body))
@@ -1071,12 +1434,16 @@ func (n *Node) replicationHealth() *serve.ReplicationHealth {
 		}
 		if role == roleLeader {
 			leaders++
+			row.WindowCap = replWindow
 			sr.followers.Range(func(k, v any) bool {
 				t := v.(*followerTrack)
 				fl := serve.FollowerLag{Node: k.(string), AckedLSN: t.acked.Load()}
 				if fl.AckedLSN < row.CommittedLSN {
 					fl.LagFrames = row.CommittedLSN - fl.AckedLSN
 					fl.LagBytes = int64(fl.LagFrames) * sr.avgFrameBytes.Load()
+				}
+				if fl.LagFrames > row.WindowFrames {
+					row.WindowFrames = fl.LagFrames
 				}
 				row.Followers = append(row.Followers, fl)
 				return true

@@ -7,19 +7,24 @@
 // A follower dials the leader's replication listener and opens one
 // session per shard:
 //
-//	follower → leader   handshake{node, shard, epoch, startLSN}
-//	leader   → follower handshake reply{status, epoch}
+//	follower → leader   handshake{node, shard, epoch, startLSN[, minor]}
+//	leader   → follower handshake reply{status, epoch[, minor]}
 //	leader   → follower [snapshot{lsn, bytes}]        (catch-up only)
 //	leader   → follower frame{epoch, lsn, payload}…   (the shipped WAL)
+//	leader   → follower durable{epoch, lsn}           (minor ≥ 1 only)
 //	leader   → follower heartbeat{epoch, commitLSN, nanos}
 //	follower → leader   ack{lsn}                      (durable position)
 //
-// Frame payloads are the exact record bytes wal.Reader yields on the
-// leader; the follower re-appends them to its own log, which re-frames
-// them byte-identically (same length prefix, same CRC-32C). Every
-// leader→follower message carries the fencing epoch; a receiver that
-// has seen a higher epoch refuses the message and drops the connection,
-// which is what makes a revived old leader harmless.
+// Frame payloads are the exact record bytes of the leader's WAL; the
+// follower re-appends them to its own log, which re-frames them
+// byte-identically (same length prefix, same CRC-32C). At minor ≥ 1
+// (see protoMinor) frames may arrive BEFORE they are durable on the
+// leader — the follower holds them until a durable{} or heartbeat
+// advertises a covering position — and acks are windowed and
+// cumulative rather than per-batch. Every leader→follower message
+// carries the fencing epoch; a receiver that has seen a higher epoch
+// refuses the message and drops the connection, which is what makes a
+// revived old leader harmless.
 package cluster
 
 import (
@@ -40,6 +45,7 @@ const (
 	msgFrame     = 'F' // leader → follower: one WAL record
 	msgHeartbeat = 'B' // leader → follower: liveness + commit position
 	msgAck       = 'A' // follower → leader: durable position
+	msgDurable   = 'D' // leader → follower: durable position advance (minor ≥ 1)
 )
 
 // Handshake verdicts.
@@ -57,6 +63,21 @@ const protoMagic = "SDRP"
 
 // protoVersion is bumped on any incompatible message change.
 const protoVersion = 1
+
+// protoMinor is the backward-negotiated feature revision: the follower
+// advertises its minor as an optional trailing field of the handshake,
+// and the leader echoes its own in the reply — but only when the
+// follower advertised one, so a minor-0 (strict) decoder never sees
+// trailing bytes it would reject. Both sides run at the minimum of the
+// two advertised minors.
+//
+// Minor 1 adds overlapped shipping: the leader may stream frames BEFORE
+// they are locally durable and advertises durability separately with
+// 'D' messages; the follower buffers pre-durable frames, applies them
+// on durable advance, and sends windowed cumulative acks instead of one
+// ack per applied batch. At minor 0 the stream is the classic
+// durable-frames-only protocol.
+const protoMinor = 1
 
 // maxCtrlMsg bounds handshake/heartbeat/ack messages; maxFrameMsg
 // bounds a frame (a WAL record plus header slack); maxSnapMsg bounds a
@@ -105,6 +126,7 @@ type handshake struct {
 	shard    uint64
 	epoch    uint64 // highest epoch the follower has seen for the shard
 	startLSN uint64 // first LSN the follower needs (its committed+1)
+	minor    uint64 // follower's protoMinor (0 when absent: a pre-minor peer)
 }
 
 func (h handshake) encode() []byte {
@@ -115,6 +137,9 @@ func (h handshake) encode() []byte {
 	b = binary.AppendUvarint(b, h.shard)
 	b = binary.AppendUvarint(b, h.epoch)
 	b = binary.AppendUvarint(b, h.startLSN)
+	if h.minor > 0 {
+		b = binary.AppendUvarint(b, h.minor)
+	}
 	return b
 }
 
@@ -134,6 +159,10 @@ func decodeHandshake(body []byte) (handshake, error) {
 	h.shard = r.Uvarint()
 	h.epoch = r.Uvarint()
 	h.startLSN = r.Uvarint()
+	if r.Err() == nil && r.Remaining() > 0 {
+		// Optional trailing minor (a pre-minor follower sends none).
+		h.minor = r.Uvarint()
+	}
 	if err := r.Err(); err != nil {
 		return h, fmt.Errorf("cluster: handshake: %w", err)
 	}
@@ -148,12 +177,16 @@ type reply struct {
 	status byte
 	epoch  uint64 // the leader's current epoch for the shard
 	detail string // human-readable rejection reason
+	minor  uint64 // leader's protoMinor; sent only to a minor-advertising follower
 }
 
 func (rp reply) encode() []byte {
 	b := []byte{msgReply, rp.status}
 	b = binary.AppendUvarint(b, rp.epoch)
 	b = appendString(b, rp.detail)
+	if rp.minor > 0 {
+		b = binary.AppendUvarint(b, rp.minor)
+	}
 	return b
 }
 
@@ -166,6 +199,10 @@ func decodeReply(body []byte) (reply, error) {
 	r := store.NewBinReader(body, 2)
 	rp.epoch = r.Uvarint()
 	rp.detail = r.String()
+	if r.Err() == nil && r.Remaining() > 0 {
+		// Optional trailing minor (a pre-minor leader sends none).
+		rp.minor = r.Uvarint()
+	}
 	if err := r.Err(); err != nil {
 		return rp, fmt.Errorf("cluster: reply: %w", err)
 	}
@@ -273,6 +310,39 @@ func decodeHeartbeat(body []byte) (heartbeat, error) {
 		return hb, fmt.Errorf("cluster: heartbeat: %d trailing bytes", r.Remaining())
 	}
 	return hb, nil
+}
+
+// durableMsg advertises the leader's durable (committed) position the
+// moment it advances — the signal a minor-1 follower applies its
+// buffered pre-durable frames on. Heartbeats still carry the position
+// for liveness, but only every HeartbeatEvery; this one is prompt.
+type durableMsg struct {
+	epoch uint64
+	lsn   uint64
+}
+
+func (d durableMsg) encode() []byte {
+	b := []byte{msgDurable}
+	b = binary.AppendUvarint(b, d.epoch)
+	b = binary.AppendUvarint(b, d.lsn)
+	return b
+}
+
+func decodeDurableMsg(body []byte) (durableMsg, error) {
+	var d durableMsg
+	if len(body) < 1 || body[0] != msgDurable {
+		return d, fmt.Errorf("cluster: not a durable advance")
+	}
+	r := store.NewBinReader(body, 1)
+	d.epoch = r.Uvarint()
+	d.lsn = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return d, fmt.Errorf("cluster: durable advance: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return d, fmt.Errorf("cluster: durable advance: %d trailing bytes", r.Remaining())
+	}
+	return d, nil
 }
 
 // ack reports the follower's durable position upstream.

@@ -50,12 +50,15 @@ func (c *Corpus) Degraded() bool {
 }
 
 // tryAcquire reserves one feedback-queue credit on the shard, failing
-// when the credited in-flight batches already fill the queue. Credits
-// are released by the apply loop as it drains, so admitted-but-unapplied
-// batches can never exceed the queue capacity — bounded memory under
-// any offered load.
+// when the credited in-flight batches already fill the queue plus the
+// one batch the apply loop is actively committing. Credits are released
+// by the apply loop as each batch is acknowledged (or nacked), so
+// admitted-but-unresolved batches — queued, riding the commit pipeline,
+// or mid-fsync — can never exceed that bound: bounded memory under any
+// offered load, with the same cap(queue)+1 in-flight budget the serial
+// loop enforced.
 func (sh *shard) tryAcquire() bool {
-	if sh.credits.Add(1) > int64(cap(sh.ch)) {
+	if sh.credits.Add(1) > int64(cap(sh.ch))+1 {
 		sh.credits.Add(-1)
 		return false
 	}

@@ -148,6 +148,7 @@ func TestErrorEnvelopeRoundTrips(t *testing.T) {
 	srv := NewServer(c)
 
 	longBatch, _ := json.Marshal(RankBatchRequest{Requests: make([]RankRequest, MaxBatchRequests+1)})
+	longFeedbackBatch, _ := json.Marshal(FeedbackRequest{Events: make([]Event, MaxFeedbackBatchEvents+1)})
 	cases := []struct {
 		name, method, path, contentType string
 		body                            []byte
@@ -173,6 +174,13 @@ func TestErrorEnvelopeRoundTrips(t *testing.T) {
 		{"batch bad sub-request", http.MethodPost, "/v1/rank/batch", "application/json",
 			[]byte(`{"requests":[{"n":5},{"n":-1}]}`), 400, ErrCodeBadRequest},
 		{"batch bad binary frame", http.MethodPost, "/v1/rank/batch", BatchContentType, []byte{0xff, 0x01, 0x02}, 400, ErrCodeBadRequest},
+		{"feedback batch method", http.MethodGet, "/v1/feedback/batch", "", nil, 405, ErrCodeMethodNotAllowed},
+		{"feedback batch bad json", http.MethodPost, "/v1/feedback/batch", "application/json", []byte("{not json"), 400, ErrCodeBadRequest},
+		{"feedback batch empty", http.MethodPost, "/v1/feedback/batch", "application/json", []byte(`{"events":[]}`), 400, ErrCodeBadRequest},
+		{"feedback batch oversized", http.MethodPost, "/v1/feedback/batch", "application/json", longFeedbackBatch, 400, ErrCodeBadRequest},
+		{"feedback batch bad event", http.MethodPost, "/v1/feedback/batch", "application/json",
+			[]byte(`{"events":[{"page":1,"slot":1},{"page":2,"slot":0}]}`), 400, ErrCodeBadRequest},
+		{"feedback batch bad binary frame", http.MethodPost, "/v1/feedback/batch", BatchContentType, []byte{0xff, 0x01}, 400, ErrCodeBadRequest},
 	}
 	for _, tc := range cases {
 		w := do(t, srv, tc.method, tc.path, tc.contentType, tc.body)
@@ -195,6 +203,11 @@ func TestErrorEnvelopeRoundTrips(t *testing.T) {
 		[]byte(`{"requests":[{"n":5},{"arm":"nope"}]}`))
 	if info := decodeEnvelope(t, w); !strings.Contains(info.Message, "request 1") {
 		t.Fatalf("batch error message %q does not name the sub-request", info.Message)
+	}
+	w = do(t, srv, http.MethodPost, "/v1/feedback/batch", "application/json",
+		[]byte(`{"events":[{"page":1,"slot":1},{"page":2,"slot":0}]}`))
+	if info := decodeEnvelope(t, w); !strings.Contains(info.Message, "event 1") {
+		t.Fatalf("feedback batch error message %q does not name the event", info.Message)
 	}
 }
 
@@ -368,6 +381,72 @@ func TestRankBatchJSONBinaryEquivalence(t *testing.T) {
 	if want := AppendRankBatchResponse(nil, canonical); !bytes.Equal(bw.Body.Bytes(), want) {
 		t.Fatalf("server binary frame differs from AppendRankBatchResponse:\ngot  %x\nwant %x",
 			bw.Body.Bytes(), want)
+	}
+}
+
+// TestFeedbackBatchJSONBinaryEquivalence ingests the same events through
+// both feedback batch codecs: both 202, both fold every event into the
+// corpus, the binary acknowledgment is byte-identical to the package
+// encoder, and the endpoint has no legacy alias.
+func TestFeedbackBatchJSONBinaryEquivalence(t *testing.T) {
+	c := newTestCorpus(t, Config{Shards: 2, Seed: 13})
+	for i := 0; i < 8; i++ {
+		if err := c.Add(i, fmt.Sprintf("ingest topic page%d", i), float64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	srv := NewServer(c)
+
+	events := []Event{
+		{Page: 0, Slot: 1, Impressions: 5, Clicks: 1},
+		{Page: 1, Slot: 2, Impressions: 7, Clicks: 0, Arm: "x", Unit: "u1"},
+		{Page: 2, Slot: 1, Impressions: 3, Clicks: 3},
+	}
+	jsonBody, _ := json.Marshal(FeedbackRequest{Events: events})
+	jw := do(t, srv, http.MethodPost, "/v1/feedback/batch", "application/json", jsonBody)
+	if jw.Code != http.StatusAccepted {
+		t.Fatalf("JSON feedback batch: %d %s", jw.Code, jw.Body.String())
+	}
+	var jresp FeedbackResponse
+	if err := json.Unmarshal(jw.Body.Bytes(), &jresp); err != nil {
+		t.Fatal(err)
+	}
+	if jresp.Accepted != len(events) {
+		t.Fatalf("JSON feedback batch accepted %d, want %d", jresp.Accepted, len(events))
+	}
+
+	binBody := AppendFeedbackBatchRequest(nil, events)
+	bw := do(t, srv, http.MethodPost, "/v1/feedback/batch", BatchContentType, binBody)
+	if bw.Code != http.StatusAccepted {
+		t.Fatalf("binary feedback batch: %d %s", bw.Code, bw.Body.String())
+	}
+	if ct := bw.Header().Get("Content-Type"); ct != BatchContentType {
+		t.Fatalf("binary feedback batch Content-Type %q, want %q", ct, BatchContentType)
+	}
+	accepted, err := DecodeFeedbackBatchResponse(bw.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != len(events) {
+		t.Fatalf("binary feedback batch accepted %d, want %d", accepted, len(events))
+	}
+	if want := AppendFeedbackBatchResponse(nil, len(events)); !bytes.Equal(bw.Body.Bytes(), want) {
+		t.Fatalf("server binary ack differs from AppendFeedbackBatchResponse:\ngot  %x\nwant %x",
+			bw.Body.Bytes(), want)
+	}
+
+	// Both batches folded in: every impression and click applied, twice.
+	c.Sync()
+	stats := c.Stats()
+	if stats.ImpressionsApplied != 2*(5+7+3) || stats.ClicksApplied != 2*(1+0+3) {
+		t.Fatalf("applied impressions=%d clicks=%d, want %d and %d",
+			stats.ImpressionsApplied, stats.ClicksApplied, 2*(5+7+3), 2*(1+0+3))
+	}
+
+	// The batch endpoint is new with /v1: no legacy alias exists.
+	if w := do(t, srv, http.MethodPost, "/feedback/batch", "application/json", jsonBody); w.Code != http.StatusNotFound {
+		t.Fatalf("legacy /feedback/batch answered %d, want 404 (new endpoint, no alias)", w.Code)
 	}
 }
 

@@ -275,18 +275,28 @@ const snapshotRetryBackoff = 5 * time.Second
 // one). lastSnap is the last ATTEMPT (success or failure), so both
 // triggers are debounced against a failing disk.
 func (sh *shard) maybeSnapshot() {
+	if sh.snapshotDue() {
+		sh.writeSnapshot()
+	}
+}
+
+// snapshotDue reports whether maybeSnapshot would act — split out so the
+// pipelined apply loop can decide cheaply when to quiesce the commit
+// pipeline for a snapshot (snapshots capture appliedLSN, which must be
+// durable, so they only happen with no flush in flight).
+func (sh *shard) snapshotDue() bool {
 	if sh.cfg.SnapshotInterval < 0 {
-		return
+		return false
 	}
 	if sh.appliedLSN.Load() == sh.snapLSN.Load() {
-		return
+		return false
 	}
 	since := time.Since(sh.lastSnap)
 	if since < sh.cfg.SnapshotInterval &&
 		(sh.walLag.Load() < snapshotBytesTrigger || since < snapshotRetryBackoff) {
-		return
+		return false
 	}
-	sh.writeSnapshot()
+	return true
 }
 
 // writeSnapshot persists the state; a failure leaves the WAL
@@ -343,6 +353,15 @@ type ShardHealth struct {
 	// every batch is being nacked, and the corpus reports unhealthy.
 	WALFailures  uint64 `json:"wal_failures,omitempty"`
 	LastWALError string `json:"last_wal_error,omitempty"`
+	// Write-path telemetry over the WAL's recent commit window (durable
+	// corpora only): the commit/fsync rate, how many records one group
+	// commit covers (the batch size the pipelined commit path achieves),
+	// and dispatch-to-durable commit latency.
+	FsyncsPerSec      float64 `json:"fsyncs_per_sec,omitempty"`
+	MeanCommitRecords float64 `json:"mean_commit_records,omitempty"`
+	P99CommitRecords  int     `json:"p99_commit_records,omitempty"`
+	MeanCommitMicros  int64   `json:"mean_commit_micros,omitempty"`
+	P99CommitMicros   int64   `json:"p99_commit_micros,omitempty"`
 }
 
 // HealthReport is the corpus readiness surface behind GET /healthz.
@@ -371,6 +390,34 @@ type HealthReport struct {
 	Replication *ReplicationHealth `json:"replication,omitempty"`
 }
 
+// WALCounters are process-lifetime WAL group-commit totals summed
+// across shards: how many group commits happened, how many durability
+// barriers (fsyncs) they issued, and how many records they covered.
+// Deltas between two samples give exact rates over an interval — the
+// loadgen report computes fsync/s and the achieved mean group-commit
+// size this way.
+type WALCounters struct {
+	Commits uint64 `json:"commits"`
+	Syncs   uint64 `json:"syncs"`
+	Records uint64 `json:"records"`
+}
+
+// WALCounters sums each shard's WAL commit counters (all zero on an
+// in-memory corpus).
+func (c *Corpus) WALCounters() WALCounters {
+	var t WALCounters
+	if !c.durable {
+		return t
+	}
+	for _, sh := range c.shards {
+		ls := sh.st.Log.Stats()
+		t.Commits += ls.Commits
+		t.Syncs += ls.Syncs
+		t.Records += ls.Records
+	}
+	return t
+}
+
 // Health reports queue depths and WAL lag per shard, read lock-free.
 func (c *Corpus) Health() HealthReport {
 	h := HealthReport{Ready: true, Durable: c.durable, Degraded: c.Degraded()}
@@ -396,6 +443,14 @@ func (c *Corpus) Health() HealthReport {
 		if msg := sh.walErr.Load(); msg != nil {
 			row.LastWALError = *msg
 			h.WALFailing = true
+		}
+		if c.durable {
+			ls := sh.st.Log.Stats()
+			row.FsyncsPerSec = ls.CommitsPerSec
+			row.MeanCommitRecords = ls.MeanBatchRecords
+			row.P99CommitRecords = ls.P99BatchRecords
+			row.MeanCommitMicros = ls.MeanCommitNanos / 1e3
+			row.P99CommitMicros = ls.P99CommitNanos / 1e3
 		}
 		h.WALLagBytes += row.WALLagBytes
 		h.Shards = append(h.Shards, row)

@@ -105,6 +105,71 @@ func TestFsyncFailureNacksFeedback(t *testing.T) {
 	}
 }
 
+// TestPipelinedFsyncFailureNacksBothBatches drives the pipelined commit
+// path: two feedback batches in flight concurrently against a slow,
+// failing disk, so the second is typically dispatched while the first's
+// doomed flush is still in the WAL pipeline. BOTH must be nacked (the
+// second committed behind the hole would corrupt the log), nothing from
+// either may publish, and after the fault clears retries land each
+// exactly once — surviving a restart.
+func TestPipelinedFsyncFailureNacksBothBatches(t *testing.T) {
+	inject := &faultfs.Injector{}
+	dir := t.TempDir()
+	c := faultyCorpus(t, dir, inject)
+	if err := c.Add(1, "alpha page", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(2, "beta page", 4); err != nil {
+		t.Fatal(err)
+	}
+	c.Sync()
+
+	inject.SetLatency(2 * time.Millisecond)
+	inject.FailSyncs(-1)
+	errs := make(chan error, 2)
+	go func() { errs <- c.TryFeedback([]Event{{Page: 1, Slot: 1, Impressions: 1, Clicks: 1}}) }()
+	go func() { errs <- c.TryFeedback([]Event{{Page: 2, Slot: 1, Impressions: 1, Clicks: 1}}) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err == nil {
+			t.Fatal("feedback acked through a failed fsync")
+		}
+	}
+	if got, _ := c.Page(1); got.Clicks != 0 {
+		t.Fatalf("nacked click published on page 1: %+v", got)
+	}
+	if got, _ := c.Page(2); got.Clicks != 0 {
+		t.Fatalf("nacked click published on page 2: %+v", got)
+	}
+	if !c.Health().WALFailing {
+		t.Fatal("health does not report the failing WAL")
+	}
+
+	inject.Clear()
+	for _, page := range []int{1, 2} {
+		if err := c.TryFeedback([]Event{{Page: page, Slot: 1, Impressions: 1, Clicks: 1}}); err != nil {
+			t.Fatalf("retry for page %d after fault cleared: %v", page, err)
+		}
+	}
+	for _, page := range []int{1, 2} {
+		if got, _ := c.Page(page); got.Clicks != 1 {
+			t.Fatalf("page %d after retry: %+v, want exactly 1 click", page, got)
+		}
+	}
+	c.Close()
+
+	c2, err := NewCorpus(Config{Shards: 1, Seed: 7, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	for _, page := range []int{1, 2} {
+		got, ok := c2.Page(page)
+		if !ok || got.Clicks != 1 {
+			t.Fatalf("recovered page %d: ok=%v %+v, want exactly 1 click", page, ok, got)
+		}
+	}
+}
+
 // TestDiskFullNacksFeedback: ENOSPC on the WAL write path must behave
 // exactly like an fsync failure — nack, no silent ack.
 func TestDiskFullNacksFeedback(t *testing.T) {

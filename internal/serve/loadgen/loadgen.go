@@ -72,6 +72,13 @@ type Config struct {
 	// FeedbackBatch is how many events a worker accumulates before
 	// flushing to /feedback (default 20; remainder flushes at the end).
 	FeedbackBatch int
+	// FeedbackBinary switches feedback flushes to POST
+	// /v1/feedback/batch with the binary codec — the amortized-framing
+	// mode for measuring ingestion throughput. The report then carries
+	// the write path's acks/s, fsync/s and achieved mean group-commit
+	// size (the latter two from /v1/stats WAL-counter deltas, so they
+	// need the service to run durable).
+	FeedbackBinary bool
 	// Retries is how many times a worker retries a request the service
 	// refused with 429/503 or that failed in transport, with jittered
 	// exponential backoff between attempts (default 3; negative
@@ -152,6 +159,7 @@ type Report struct {
 	Requests       int           // rank requests completed
 	Errors         int           // rank or feedback requests that failed after retries
 	FeedbackPosts  int           // feedback batches acknowledged
+	FeedbackEvents int64         // feedback events acknowledged (durably committed)
 	Impressions    int64         // slot impressions reported
 	Clicks         int64         // clicks reported
 	Retries        int           // retry attempts across all requests
@@ -174,6 +182,16 @@ type Report struct {
 	// arm-level p50/p90/p99 and QPS. Single implicit-arm services report
 	// one entry.
 	Arms map[string]PathReport
+	// Write-path measurements: AcksPerSec is acknowledged feedback
+	// events per second over the run; FsyncsPerSec and
+	// MeanCommitRecords come from the service's /v1/stats WAL-counter
+	// deltas between the run's start and end (zero when the service is
+	// not durable or /v1/stats was unreachable). MeanCommitRecords is
+	// the achieved group-commit batch size — records made durable per
+	// fsync.
+	AcksPerSec        float64
+	FsyncsPerSec      float64
+	MeanCommitRecords float64
 }
 
 // String renders the report as a compact human-readable block.
@@ -207,8 +225,13 @@ func (r *Report) String() string {
 				name, a.Requests, a.QPS, a.P50, a.P90, a.P99, a.Max)
 		}
 	}
-	return s + fmt.Sprintf("\nfeedback: %d posts, %d impressions, %d clicks",
+	s += fmt.Sprintf("\nfeedback: %d posts, %d impressions, %d clicks",
 		r.FeedbackPosts, r.Impressions, r.Clicks)
+	if r.AcksPerSec > 0 || r.FsyncsPerSec > 0 {
+		s += fmt.Sprintf("\nwrite path: %.0f acks/s, %.0f fsyncs/s, %.1f records/commit",
+			r.AcksPerSec, r.FsyncsPerSec, r.MeanCommitRecords)
+	}
+	return s
 }
 
 type worker struct {
@@ -218,7 +241,8 @@ type worker struct {
 	rng      *randutil.RNG
 	att      *attention.Model
 	pending  []serve.Event
-	batchBuf []byte // reused binary batch request frame
+	batchBuf []byte // reused binary rank batch request frame
+	fbBuf    []byte // reused binary feedback batch request frame
 
 	latencies []time.Duration            // browse-path samples
 	queryLats []time.Duration            // query-path samples
@@ -241,6 +265,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	workers := make([]*worker, cfg.Workers)
 	var wg sync.WaitGroup
+	before := sampleWAL(cfg)
 	start := time.Now()
 	for i := range workers {
 		w := &worker{
@@ -266,12 +291,14 @@ func Run(cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	total := &Report{Duration: time.Since(start), Arms: map[string]PathReport{}}
+	after := sampleWAL(cfg)
 	var browse, query []time.Duration
 	armLats := map[string][]time.Duration{}
 	for _, w := range workers {
 		total.Requests += w.report.Requests
 		total.Errors += w.report.Errors
 		total.FeedbackPosts += w.report.FeedbackPosts
+		total.FeedbackEvents += w.report.FeedbackEvents
 		total.Impressions += w.report.Impressions
 		total.Clicks += w.report.Clicks
 		total.Retries += w.report.Retries
@@ -308,7 +335,32 @@ func Run(cfg Config) (*Report, error) {
 	for arm, lats := range armLats {
 		total.Arms[arm] = withQPS(pathStats(lats))
 	}
+	if secs > 0 {
+		total.AcksPerSec = float64(total.FeedbackEvents) / secs
+		if before != nil && after != nil {
+			total.FsyncsPerSec = float64(after.Syncs-before.Syncs) / secs
+			if commits := after.Commits - before.Commits; commits > 0 {
+				total.MeanCommitRecords = float64(after.Records-before.Records) / float64(commits)
+			}
+		}
+	}
 	return total, nil
+}
+
+// sampleWAL reads the service's process-lifetime WAL counters from
+// /v1/stats; nil when the endpoint is unreachable or the service runs
+// without durability (no counters in the response).
+func sampleWAL(cfg Config) *serve.WALCounters {
+	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var stats serve.StatsResponse
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&stats) != nil {
+		return nil
+	}
+	return stats.WAL
 }
 
 // pathStats sorts the samples in place and summarizes them.
@@ -579,17 +631,28 @@ func (w *worker) flush() {
 	if len(w.pending) == 0 {
 		return
 	}
-	body, err := json.Marshal(serve.FeedbackRequest{Events: w.pending})
-	w.pending = w.pending[:0]
-	if err != nil {
-		w.report.Errors++
-		return
+	n := len(w.pending)
+	path, contentType := "/v1/feedback", "application/json"
+	var body []byte
+	if w.cfg.FeedbackBinary {
+		path, contentType = "/v1/feedback/batch", serve.BatchContentType
+		body = serve.AppendFeedbackBatchRequest(w.fbBuf[:0], w.pending)
+		w.fbBuf = body
+	} else {
+		var err error
+		body, err = json.Marshal(serve.FeedbackRequest{Events: w.pending})
+		if err != nil {
+			w.pending = w.pending[:0]
+			w.report.Errors++
+			return
+		}
 	}
+	w.pending = w.pending[:0]
 	// post retries 429 (queue full, rate limited) and 503 (durability
 	// failure) with backoff: under a flash crowd the events eventually
 	// land — or the run honestly reports them as errors, never as
 	// silently dropped acks.
-	resp, err := w.post("/v1/feedback", "application/json", body)
+	resp, err := w.post(path, contentType, body)
 	if err != nil {
 		w.report.Errors++
 		return
@@ -601,4 +664,5 @@ func (w *worker) flush() {
 		return
 	}
 	w.report.FeedbackPosts++
+	w.report.FeedbackEvents += int64(n)
 }

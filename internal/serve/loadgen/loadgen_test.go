@@ -119,6 +119,70 @@ func TestLoadRunPromotesPlantedGem(t *testing.T) {
 	}
 }
 
+// TestFeedbackBinaryModeWritePathReport drives a durable service with
+// feedback flushing through the binary /v1/feedback/batch codec and
+// checks the ingestion ledger conserves exactly, and that the report's
+// write-path measurements (acks/s from acknowledged events, fsync/s and
+// mean group-commit size from /v1/stats WAL-counter deltas) are live.
+func TestFeedbackBinaryModeWritePathReport(t *testing.T) {
+	c, err := serve.NewCorpus(serve.Config{Shards: 2, Seed: 3, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if err := c.Add(i, fmt.Sprintf("binary feedback page%d", i), float64(20-i)*0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Sync()
+	srv := httptest.NewServer(serve.NewServer(c))
+	defer srv.Close()
+
+	report, err := Run(Config{
+		BaseURL:        srv.URL,
+		Workers:        2,
+		Requests:       200,
+		N:              10,
+		Seed:           9,
+		FeedbackBatch:  25,
+		FeedbackBinary: true,
+		Quality:        func(id int) float64 { return 0.4 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors != 0 {
+		t.Fatalf("load run had %d errors: %v", report.Errors, report)
+	}
+	if report.FeedbackEvents == 0 || report.FeedbackEvents != report.Impressions {
+		t.Fatalf("acknowledged %d events for %d impressions", report.FeedbackEvents, report.Impressions)
+	}
+	if report.AcksPerSec <= 0 {
+		t.Fatalf("AcksPerSec = %v, want > 0", report.AcksPerSec)
+	}
+	if report.FsyncsPerSec <= 0 || report.MeanCommitRecords <= 0 {
+		t.Fatalf("write-path stats not measured: fsyncs/s %v, records/commit %v",
+			report.FsyncsPerSec, report.MeanCommitRecords)
+	}
+	if !strings.Contains(report.String(), "write path:") {
+		t.Fatalf("report omits the write-path line:\n%s", report.String())
+	}
+
+	// The binary path must conserve the ledger exactly, like JSON.
+	c.Sync()
+	st := c.Stats()
+	if st.ImpressionsApplied != uint64(report.Impressions) {
+		t.Fatalf("impressions applied %d != impressions sent %d", st.ImpressionsApplied, report.Impressions)
+	}
+	if st.ClicksApplied != uint64(report.Clicks) {
+		t.Fatalf("clicks applied %d != clicks sent %d", st.ClicksApplied, report.Clicks)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d events", st.Dropped)
+	}
+}
+
 // TestTwoArmExperimentRun is the tentpole's acceptance run: a
 // deterministic control arm against the paper's selective treatment,
 // mixed browse/query workload, unit-bucketed simulated users. The

@@ -114,57 +114,77 @@ func (c *Corpus) SetReplicationHealth(fn func() *ReplicationHealth) {
 // CommittedLSN()+1. Blocks until the batch is durable — the ack a
 // follower sends upstream is as strong as a client 202.
 func (c *Corpus) ApplyReplicated(shard int, frames []ReplFrame) error {
+	wait, err := c.ApplyReplicatedAsync(shard, frames)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// ApplyReplicatedAsync is ApplyReplicated split at the durability
+// barrier: it validates and submits the batch to the shard's apply loop
+// and returns without waiting for the group commit. The returned wait
+// function blocks until the batch is durable, finishes the corpus-index
+// maintenance for whatever committed, and reports the batch's outcome;
+// call it exactly once. Submitting batch N+1 before batch N's wait
+// returns is the point — the apply loop appends and applies N+1 while
+// N's fsync is still in flight, so a replication session overlaps its
+// own durability barrier with frame application instead of stalling the
+// stream once per group commit.
+func (c *Corpus) ApplyReplicatedAsync(shard int, frames []ReplFrame) (func() error, error) {
 	if !c.durable {
-		return errors.New("serve: replication requires a durable corpus")
+		return nil, errors.New("serve: replication requires a durable corpus")
 	}
 	if len(frames) == 0 {
-		return nil
+		return func() error { return nil }, nil
 	}
 	sh := c.shards[shard]
 	for i := range frames {
 		rec, err := decodeWALRecord(frames[i].Payload)
 		if err != nil {
-			return fmt.Errorf("serve: replicated frame lsn %d: %w", frames[i].LSN, err)
+			return nil, fmt.Errorf("serve: replicated frame lsn %d: %w", frames[i].LSN, err)
 		}
 		if i > 0 && frames[i].LSN != frames[i-1].LSN+1 {
-			return fmt.Errorf("serve: replicated frames not contiguous at lsn %d", frames[i].LSN)
+			return nil, fmt.Errorf("serve: replicated frames not contiguous at lsn %d", frames[i].LSN)
 		}
 		frames[i].rec = rec
 	}
 	done := make(chan error, 1)
 	sh.ch <- applyReq{repl: frames, done: done}
-	err := <-done
-	// Index-side effects for whatever actually committed: the corpus
-	// index and id map are rebuilt from shard state at boot, so they are
-	// maintenance here, not durability.
-	applied := sh.committedLSN.Load()
-	c.idxMu.Lock()
-	for i := range frames {
-		f := &frames[i]
-		if f.LSN > applied {
-			break
+	return func() error {
+		err := <-done
+		// Index-side effects for whatever actually committed: the corpus
+		// index and id map are rebuilt from shard state at boot, so they
+		// are maintenance here, not durability.
+		applied := sh.committedLSN.Load()
+		c.idxMu.Lock()
+		for i := range frames {
+			f := &frames[i]
+			if f.LSN > applied {
+				break
+			}
+			switch f.rec.kind {
+			case recKindAdd:
+				a := f.rec.add
+				if v, ok := c.byID.Load(a.ID); ok && v.(int64)&1 == 0 {
+					continue // duplicate frame, already indexed
+				}
+				if ierr := c.idx.Add(searchidx.Document{ID: a.Birth, Text: a.Text}); ierr != nil {
+					c.idxMu.Unlock()
+					return fmt.Errorf("serve: indexing replicated page %d: %w", a.ID, ierr)
+				}
+				c.byID.Store(a.ID, int64(a.Birth)<<1)
+				c.noteBirth(a.Birth)
+			case recKindRemove:
+				if v, ok := c.byID.Load(f.rec.remove); ok && v.(int64)&1 == 0 {
+					c.idx.Delete(int(v.(int64) >> 1))
+					c.byID.Store(f.rec.remove, v.(int64)|1)
+				}
+			}
 		}
-		switch f.rec.kind {
-		case recKindAdd:
-			a := f.rec.add
-			if v, ok := c.byID.Load(a.ID); ok && v.(int64)&1 == 0 {
-				continue // duplicate frame, already indexed
-			}
-			if ierr := c.idx.Add(searchidx.Document{ID: a.Birth, Text: a.Text}); ierr != nil {
-				c.idxMu.Unlock()
-				return fmt.Errorf("serve: indexing replicated page %d: %w", a.ID, ierr)
-			}
-			c.byID.Store(a.ID, int64(a.Birth)<<1)
-			c.noteBirth(a.Birth)
-		case recKindRemove:
-			if v, ok := c.byID.Load(f.rec.remove); ok && v.(int64)&1 == 0 {
-				c.idx.Delete(int(v.(int64) >> 1))
-				c.byID.Store(f.rec.remove, v.(int64)|1)
-			}
-		}
-	}
-	c.idxMu.Unlock()
-	return err
+		c.idxMu.Unlock()
+		return err
+	}, nil
 }
 
 // InstallReplicaSnapshot bootstraps an EMPTY follower shard from a
@@ -321,6 +341,13 @@ type ReplShardHealth struct {
 	// HeartbeatAgeMillis is how long since the leader was last heard
 	// from (follower roles only; -1 before the first heartbeat).
 	HeartbeatAgeMillis int64 `json:"heartbeat_age_ms,omitempty"`
+	// WindowFrames is how many durable frames the slowest registered
+	// follower has not yet acknowledged, against WindowCap — the
+	// leader's replication flow-control window (leader role only).
+	// Occupancy near the cap means shipping is pausing on follower
+	// acks instead of the network.
+	WindowFrames uint64 `json:"window_frames,omitempty"`
+	WindowCap    uint64 `json:"window_cap,omitempty"`
 	// Followers lists registered follower positions (leader role only).
 	Followers []FollowerLag `json:"followers,omitempty"`
 }

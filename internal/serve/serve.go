@@ -41,6 +41,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,6 +194,24 @@ type Config struct {
 	// quickly (signal a channel, bump an atomic); replication shipping
 	// hangs off this hook. Ignored without Durability.DataDir.
 	OnCommit func(shard int, committedLSN uint64)
+
+	// OnWALWrite, when non-nil, receives each dispatched batch's raw WAL
+	// frames right after they are written to the shard's active segment
+	// but BEFORE the covering fsync (wal.Options.OnWrite). Replication
+	// uses it to overlap network shipping with the leader's sync: the
+	// receiver must treat the frames as provisional until OnCommit
+	// advertises their durability, because a failed sync voids them (see
+	// OnRollback). Runs on the shard's flush goroutine — it must copy
+	// what it keeps and return quickly. Ignored without
+	// Durability.DataDir.
+	OnWALWrite func(shard int, firstLSN uint64, frames []byte)
+
+	// OnRollback, when non-nil, is invoked by a shard's apply loop after
+	// a failed WAL commit rolled the log back, with the first LSN that
+	// was invalidated: every frame at or above fromLSN that OnWALWrite
+	// announced is void and its LSN may be reused by later records.
+	// Runs on the apply goroutine. Ignored without Durability.DataDir.
+	OnRollback func(shard int, fromLSN uint64)
 
 	// DataDir enables durability from the given directory.
 	//
@@ -484,8 +503,9 @@ type shard struct {
 	ch  chan applyReq
 
 	// credits counts admission-controlled batches admitted but not yet
-	// drained; TryFeedback refuses (429) once it reaches cap(ch), so
-	// the queue is truly bounded for admission-controlled traffic.
+	// acknowledged (queued OR riding the commit pipeline); TryFeedback
+	// refuses (429) once it reaches cap(ch), so total in-flight work is
+	// truly bounded for admission-controlled traffic.
 	credits atomic.Int64
 
 	// arms resolves feedback attribution; armOrder is the declaration
@@ -512,7 +532,8 @@ type shard struct {
 	st       *store.Shard
 	killed   *atomic.Bool // corpus-wide crash-simulation flag
 	recStart int          // in-place record payload start (mustBegin/mustEnd)
-	reqBuf   []applyReq   // group-commit drain scratch
+	reqBuf   []applyReq   // group-commit drain scratch (in-memory path)
+	reqFree  [][]applyReq // recycled drain slices for pipelined batches
 	// pending retains additions and removals from a batch whose WAL
 	// commit failed: their index-side effects already happened (the
 	// document is in/out of the search index), so they must eventually
@@ -556,6 +577,7 @@ type Corpus struct {
 
 	// Durability (nil/false when Config.DataDir was empty):
 	st       *store.Store
+	syncPool *wal.SyncPool // coalesces shard fsyncs into shared syncfs barriers
 	durable  bool
 	killed   atomic.Bool
 	recovery RecoveryInfo
@@ -643,8 +665,17 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	}
 	if c.durable {
 		fsync, _ := wal.ParseFsyncMode(cfg.FsyncMode) // Validate already vetted it
-		st, err := store.Open(cfg.DataDir, storeMeta(cfg), wal.Options{Fsync: fsync, SegmentBytes: cfg.walSegmentBytes, Inject: cfg.FaultInjector})
+		// One SyncPool for the whole corpus: the shard WALs live on the
+		// same filesystem, so their group commits can share syncfs
+		// barriers instead of serializing N fdatasyncs at the device.
+		// (Injected logs bypass the pool — fault plans see every sync.)
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		c.syncPool = wal.NewSyncPool(cfg.DataDir)
+		st, err := store.Open(cfg.DataDir, storeMeta(cfg), wal.Options{Fsync: fsync, SegmentBytes: cfg.walSegmentBytes, Inject: cfg.FaultInjector, SyncPool: c.syncPool})
 		if err != nil {
+			c.syncPool.Close()
 			return nil, fmt.Errorf("serve: %w", err)
 		}
 		c.st = st
@@ -671,7 +702,18 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	if c.durable {
 		if err := c.recover(); err != nil {
 			c.st.Close()
+			c.syncPool.Close()
 			return nil, err
+		}
+		if cfg.OnWALWrite != nil {
+			// Per-shard write hooks must be bound before the apply loops
+			// can dispatch the first commit.
+			for _, sh := range c.shards {
+				shardID := sh.id
+				sh.st.Log.SetOnWrite(func(first uint64, frames []byte) {
+					cfg.OnWALWrite(shardID, first, frames)
+				})
+			}
 		}
 	}
 	for _, sh := range c.shards {
@@ -915,6 +957,7 @@ func (c *Corpus) Close() {
 		// directory lock so another corpus (or the replay tool) may open
 		// the data dir.
 		c.st.Close()
+		c.syncPool.Close()
 	}
 }
 
@@ -934,6 +977,7 @@ func (c *Corpus) Kill() {
 	// simulation honest (the restart must be able to lock the dir).
 	if c.st != nil {
 		c.st.Close()
+		c.syncPool.Close()
 	}
 }
 
@@ -1530,14 +1574,223 @@ func (sh *shard) run() {
 		}
 		return
 	}
-	for {
-		req, ok := <-sh.ch
-		if !ok {
-			sh.shutdown()
+	sh.runDurable()
+}
+
+// pipeBatch is one dispatched group-commit batch flowing through the
+// durable apply loop's pipeline: its WAL flush handle plus everything
+// needed to apply, publish and acknowledge it once the flush lands.
+type pipeBatch struct {
+	flush    *wal.Flush // nil when the batch appended no frames
+	reqs     []applyReq
+	replErrs []error
+	startLSN uint64
+	endLSN   uint64
+	prevLag  int64
+	now      int64
+}
+
+// maxPipeline bounds how many dispatched batches may await durability at
+// once. Depth buys overlap — batch N+1 (and N+2...) accumulate and ship
+// while batch N's fdatasync is in flight, and the WAL coalesces whatever
+// queued behind a slow sync into one vectored write with one covering
+// sync — while the bound keeps the rollback blast radius and ack latency
+// of a failed sync small.
+const maxPipeline = 4
+
+// runDurable is the durable shard's apply loop: pipelined group commit.
+// Each drained group of requests is WAL-encoded and dispatched with
+// CommitAsync; while its fsync is in flight the loop goes straight back
+// to draining the queue and dispatching the next batch. Application,
+// publication and acks for a batch happen only when its flush completes
+// (in dispatch order) — so the acked-means-durable and PR 6 rollback
+// contracts are exactly those of the serial loop, at up to maxPipeline
+// batches of overlap.
+func (sh *shard) runDurable() {
+	var pipe []*pipeBatch
+	closed := false
+
+	// finish applies, publishes and acknowledges one completed batch.
+	// A non-nil return is the batch's commit failure, with the pipeline
+	// rollback left to the caller (failPipe).
+	finish := func(b *pipeBatch) error {
+		if err := sh.st.Log.Complete(b.flush); err != nil {
+			return err
+		}
+		sh.walErr.Store(nil)
+		if b.flush != nil {
+			sh.committedLSN.Store(b.endLSN)
+		}
+		// One publish per batch, not per request: the group boundary
+		// that amortizes the fsync amortizes the top-list rebuild too.
+		// It lands before the done channels close, so the Sync/ack
+		// contract (applied AND published) holds.
+		dirty := false
+		for _, r := range b.reqs {
+			for _, f := range r.repl {
+				// Replicated records apply with the timestamp the leader
+				// logged — identical to recovery replaying the same frame.
+				switch f.rec.kind {
+				case recKindAdd:
+					if sh.liveAdd(f.rec.add) {
+						dirty = true
+					}
+				case recKindEvent:
+					if sh.liveEvent(f.rec.event, f.rec.nanos) {
+						dirty = true
+					}
+				case recKindRemove:
+					if sh.applyRemove(f.rec.remove) {
+						dirty = true
+					}
+				}
+			}
+			for _, a := range r.add {
+				if sh.liveAdd(a) {
+					dirty = true
+				}
+			}
+			for _, id := range r.remove {
+				if sh.applyRemove(id) {
+					dirty = true
+				}
+			}
+			for _, e := range r.events {
+				if sh.liveEvent(e, b.now) {
+					dirty = true
+				}
+			}
+		}
+		if dirty {
+			sh.publish()
+		}
+		for ri := range b.reqs {
+			r := &b.reqs[ri]
+			if r.credited {
+				sh.credits.Add(-1)
+			}
+			if r.done == nil {
+				continue
+			}
+			if b.replErrs != nil && b.replErrs[ri] != nil {
+				// The valid prefix of the replicated batch committed and
+				// applied; the error tells the session where continuity
+				// broke so it can re-sync from committedLSN+1.
+				r.done <- b.replErrs[ri]
+			}
+			close(r.done)
+		}
+		if sh.cfg.OnCommit != nil && b.flush != nil {
+			sh.cfg.OnCommit(sh.id, b.endLSN)
+		}
+		sh.releaseReqs(b.reqs)
+		return nil
+	}
+
+	// failPipe handles a failed head-of-pipeline commit: every batch
+	// behind it fails too (the WAL cascades them — their LSNs sit above
+	// the hole), so NOTHING in the pipeline may be acknowledged or
+	// applied. All failed frames are restored by Complete and then
+	// dropped together (the WAL truncates any partial bytes and rewinds
+	// its LSN), the health counters rewind to the OLDEST batch's start,
+	// every waiter is nacked, and the sticky unhealthy state surfaces.
+	// Additions/removals are retained for the next group — their
+	// index-side effects already happened; events are the clients' to
+	// retry.
+	failPipe := func(err error) {
+		head := pipe[0]
+		sh.walFailures.Add(1)
+		msg := err.Error()
+		sh.walErr.Store(&msg)
+		for _, b := range pipe[1:] {
+			_ = sh.st.Log.Complete(b.flush) // cascade failure; frames restored for the drop below
+		}
+		if derr := sh.st.Log.DropBuffered(); derr != nil {
+			// The log could not even restore its tail; give up
+			// loudly rather than risk acknowledging over corruption.
+			panic(fmt.Sprintf("serve: shard WAL unrecoverable after failed commit: %v (commit: %v)", derr, err))
+		}
+		if head.startLSN > 0 {
+			sh.appliedLSN.Store(head.startLSN - 1)
+		}
+		sh.walLag.Store(head.prevLag)
+		for _, b := range pipe {
+			for _, r := range b.reqs {
+				if r.credited {
+					sh.credits.Add(-1)
+				}
+				if len(r.add) > 0 || len(r.remove) > 0 {
+					sh.pending = append(sh.pending, applyReq{add: r.add, remove: r.remove})
+				}
+				if r.done != nil {
+					r.done <- err
+					close(r.done)
+				}
+			}
+			sh.releaseReqs(b.reqs)
+		}
+		pipe = pipe[:0]
+		if sh.cfg.OnRollback != nil {
+			// Frames at/above the oldest failed LSN that OnWALWrite may
+			// have announced are void; their LSNs may be reused.
+			sh.cfg.OnRollback(sh.id, head.startLSN)
+		}
+	}
+
+	// completeHead blocks for the head batch's flush and retires it.
+	completeHead := func() {
+		b := pipe[0]
+		if err := finish(b); err != nil {
+			failPipe(err)
 			return
 		}
-		reqs := append(sh.reqBuf[:0], req)
-		closed := false
+		pipe = append(pipe[:0], pipe[1:]...)
+		if len(pipe) == 0 {
+			sh.maybeSnapshot()
+		}
+	}
+	drainPipe := func() {
+		for len(pipe) > 0 {
+			completeHead()
+		}
+	}
+
+	for {
+		// Gather the next group: block on the queue when the pipeline is
+		// empty; otherwise wait for more work OR the head flush, whichever
+		// lands first. A full pipeline (or a closed queue) waits on the
+		// head alone — that is the backpressure.
+		var reqs []applyReq
+		if len(pipe) == 0 {
+			if closed {
+				sh.shutdown()
+				return
+			}
+			r, ok := <-sh.ch
+			if !ok {
+				closed = true
+				continue
+			}
+			reqs = append(sh.takeReqs(), r)
+		} else if closed || len(pipe) >= maxPipeline || pipe[0].flush == nil {
+			if pipe[0].flush != nil {
+				<-pipe[0].flush.Done()
+			}
+			completeHead()
+			continue
+		} else {
+			select {
+			case <-pipe[0].flush.Done():
+				completeHead()
+				continue
+			case r, ok := <-sh.ch:
+				if !ok {
+					closed = true
+					continue
+				}
+				reqs = append(sh.takeReqs(), r)
+			}
+		}
 	drain:
 		for {
 			select {
@@ -1551,18 +1804,23 @@ func (sh *shard) run() {
 				break drain
 			}
 		}
-		sh.reqBuf = reqs[:0]
-		for _, r := range reqs {
-			if r.credited {
-				sh.credits.Add(-1)
-			}
-		}
+		// Credits are NOT released here: a credit spans admission to
+		// acknowledgment, so the pipeline's in-flight batches stay inside
+		// the queue bound TryFeedback enforces (429 past cap, even while
+		// batches ride the pipeline instead of the channel).
 		if sh.killed != nil && sh.killed.Load() {
-			// Crash simulation: nothing here was acknowledged. Nack the
-			// waiters (from outside, a dying process looks like an error,
-			// not a hang) and abandon the rest exactly as a dead process
-			// would.
+			// Crash simulation. Batches already dispatched race the
+			// crash: whatever the WAL makes durable completes truthfully
+			// (their acks are honest — the frames are on disk), exactly
+			// as a real crash mid-fsync would leave them. The batch being
+			// gathered was never dispatched: nack its waiters (from
+			// outside, a dying process looks like an error, not a hang)
+			// and abandon the rest as a dead process would.
+			drainPipe()
 			for _, r := range reqs {
+				if r.credited {
+					sh.credits.Add(-1)
+				}
 				if r.done != nil {
 					r.done <- errKilled
 					close(r.done)
@@ -1572,10 +1830,16 @@ func (sh *shard) run() {
 			return
 		}
 		// Replica snapshot installs are standalone — they reset the
-		// shard's (empty) log before anything else may append to it.
+		// shard's (empty) log, which must be fully quiesced first.
 		for ri := range reqs {
 			if reqs[ri].snapInstall != nil {
-				sh.handleSnapInstall(&reqs[ri])
+				drainPipe()
+				for rj := ri; rj < len(reqs); rj++ {
+					if reqs[rj].snapInstall != nil {
+						sh.handleSnapInstall(&reqs[rj])
+					}
+				}
+				break
 			}
 		}
 		// Additions and removals retained from a previously failed
@@ -1583,7 +1847,10 @@ func (sh *shard) run() {
 		// visible, so they must reach shard state (and the log) before
 		// anything newer.
 		if len(sh.pending) > 0 {
-			reqs = append(append([]applyReq{}, sh.pending...), reqs...)
+			merged := make([]applyReq, 0, len(sh.pending)+len(reqs))
+			merged = append(append(merged, sh.pending...), reqs...)
+			sh.releaseReqs(reqs)
+			reqs = merged
 			sh.pending = nil
 		}
 		// One timestamp per group: the clock every applyEvent in the
@@ -1619,109 +1886,51 @@ func (sh *shard) run() {
 				sh.mustEnd(appendEventRecord(sh.mustBegin(), e, now))
 			}
 		}
-		if err := sh.st.Log.Commit(); err != nil {
-			// The log is not durable, so NOTHING in this group may be
-			// acknowledged or applied: drop the buffered frames (the WAL
-			// truncates any partial bytes and rewinds its LSN), rewind
-			// the health counters, nack every waiter, and surface the
-			// sticky unhealthy state. Additions/removals are retained
-			// for the next group — their index-side effects already
-			// happened; events are the clients' to retry.
-			sh.walFailures.Add(1)
-			msg := err.Error()
-			sh.walErr.Store(&msg)
-			if derr := sh.st.Log.DropBuffered(); derr != nil {
-				// The log could not even restore its tail; give up
-				// loudly rather than risk acknowledging over corruption.
-				panic(fmt.Sprintf("serve: shard WAL unrecoverable after failed commit: %v (commit: %v)", derr, err))
-			}
-			if startLSN > 0 {
-				sh.appliedLSN.Store(startLSN - 1)
-			}
-			sh.walLag.Store(prevLag)
-			for _, r := range reqs {
-				if len(r.add) > 0 || len(r.remove) > 0 {
-					sh.pending = append(sh.pending, applyReq{add: r.add, remove: r.remove})
-				}
-				if r.done != nil {
-					r.done <- err
-					close(r.done)
-				}
-			}
-			if closed {
-				sh.shutdown()
-				return
-			}
-			continue
+		flush, err := sh.st.Log.CommitAsync()
+		if err != nil {
+			// Only a read-only log refuses dispatch, and a serving shard
+			// never opens one.
+			panic(fmt.Sprintf("serve: shard WAL dispatch failed: %v", err))
 		}
-		sh.walErr.Store(nil)
-		endLSN := sh.st.Log.NextLSN() - 1
-		sh.committedLSN.Store(endLSN)
-		// One publish per drained group, not per request: the group
-		// boundary that amortizes the fsync amortizes the top-list
-		// rebuild too. It lands before the done channels close, so the
-		// Sync/ack contract (applied AND published) holds.
-		dirty := false
-		for _, r := range reqs {
-			for _, f := range r.repl {
-				// Replicated records apply with the timestamp the leader
-				// logged — identical to recovery replaying the same frame.
-				switch f.rec.kind {
-				case recKindAdd:
-					if sh.liveAdd(f.rec.add) {
-						dirty = true
-					}
-				case recKindEvent:
-					if sh.liveEvent(f.rec.event, f.rec.nanos) {
-						dirty = true
-					}
-				case recKindRemove:
-					if sh.applyRemove(f.rec.remove) {
-						dirty = true
-					}
-				}
-			}
-			for _, a := range r.add {
-				if sh.liveAdd(a) {
-					dirty = true
-				}
-			}
-			for _, id := range r.remove {
-				if sh.applyRemove(id) {
-					dirty = true
-				}
-			}
-			for _, e := range r.events {
-				if sh.liveEvent(e, now) {
-					dirty = true
-				}
-			}
+		b := &pipeBatch{flush: flush, reqs: reqs, replErrs: replErrs, startLSN: startLSN, prevLag: prevLag, now: now}
+		if flush != nil {
+			b.endLSN = flush.LastLSN()
 		}
-		if dirty {
-			sh.publish()
-		}
-		for ri := range reqs {
-			r := &reqs[ri]
-			if r.done == nil {
-				continue
-			}
-			if replErrs != nil && replErrs[ri] != nil {
-				// The valid prefix of the replicated batch committed and
-				// applied; the error tells the session where continuity
-				// broke so it can re-sync from committedLSN+1.
-				r.done <- replErrs[ri]
-			}
-			close(r.done)
-		}
-		if sh.cfg.OnCommit != nil && endLSN >= startLSN {
-			sh.cfg.OnCommit(sh.id, endLSN)
-		}
-		sh.maybeSnapshot()
-		if closed {
-			sh.shutdown()
-			return
+		pipe = append(pipe, b)
+		if flush == nil {
+			// Nothing was appended (a bare Sync, or a fully-deduped
+			// replication batch): FIFO still holds — everything ahead
+			// lands first, then this acks immediately.
+			drainPipe()
+		} else if sh.snapshotDue() {
+			// Sustained load never leaves the pipeline idle on its own;
+			// force a drain when the snapshot triggers fire so WAL lag
+			// stays bounded under continuous ingestion.
+			drainPipe()
 		}
 	}
+}
+
+// takeReqs returns a recycled request slice for a new batch (the
+// pipelined counterpart of the serial loop's single reqBuf scratch).
+func (sh *shard) takeReqs() []applyReq {
+	if n := len(sh.reqFree); n > 0 {
+		s := sh.reqFree[n-1]
+		sh.reqFree = sh.reqFree[:n-1]
+		return s
+	}
+	return nil
+}
+
+// releaseReqs recycles a retired batch's request slice, dropping its
+// references so retained done channels and event slices can be
+// collected.
+func (sh *shard) releaseReqs(reqs []applyReq) {
+	if cap(reqs) == 0 || cap(reqs) > 256 || len(sh.reqFree) >= maxPipeline+1 {
+		return
+	}
+	clear(reqs)
+	sh.reqFree = append(sh.reqFree, reqs[:0])
 }
 
 // mustBegin and mustEnd bracket one in-place record write

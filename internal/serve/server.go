@@ -87,8 +87,9 @@ func NewServer(c *Corpus) *Server {
 	s.route("/stats", s.handleStats)
 	s.route("/experiment", s.handleExperiment)
 	s.route("/healthz", s.handleHealthz)
-	// Batch ranking is new with /v1 and gets no legacy alias.
+	// Batch endpoints are new with /v1 and get no legacy alias.
 	s.mux.HandleFunc("/v1/rank/batch", s.handleRankBatch)
+	s.mux.HandleFunc("/v1/feedback/batch", s.handleFeedbackBatch)
 	return s
 }
 
@@ -247,6 +248,15 @@ type StatsResponse struct {
 	ProvenanceHeld   uint64 `json:"provenance_held"`
 	ProvenanceCapped uint64 `json:"provenance_capped"`
 	WALFailures      uint64 `json:"wal_failures"`
+	// Write-path telemetry (durable corpora only): windowed fsync rate,
+	// mean group-commit batch size, p99 commit latency, plus the
+	// process-lifetime WAL counters whose deltas give exact rates over
+	// any interval. Per-shard detail (including p99 batch size and mean
+	// latency) is on /v1/healthz.
+	FsyncsPerSec      float64      `json:"fsyncs_per_sec,omitempty"`
+	MeanCommitRecords float64      `json:"mean_commit_records,omitempty"`
+	P99CommitMicros   int64        `json:"p99_commit_micros,omitempty"`
+	WAL               *WALCounters `json:"wal,omitempty"`
 
 	Epochs []uint64    `json:"epochs"`
 	Slots  []SlotStats `json:"slots"`
@@ -491,6 +501,96 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleFeedbackBatch serves POST /v1/feedback/batch: many feedback
+// events per round trip, JSON ({"events":[...]}) by default or the
+// length-prefixed binary framing when the request Content-Type is
+// BatchContentType (the 202 acknowledgment then uses the same framing;
+// errors are always a JSON envelope). Validation is all-or-nothing —
+// any malformed event fails the whole call before admission, so a 202
+// means every event in the batch committed. The rate limiter charges
+// the batch as ONE request; the whole batch is also admitted through
+// ONE TryFeedback, which is what turns a large wire batch into a large
+// WAL group commit instead of many small ones.
+func (s *Server) handleFeedbackBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, 0, "POST only")
+		return
+	}
+	sc := s.scratch.Get().(*connScratch)
+	defer s.scratch.Put(sc)
+	var err error
+	sc.in, err = readBody(sc.in[:0], w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad body: %v", err)
+		return
+	}
+	binaryCodec := r.Header.Get("Content-Type") == BatchContentType
+	var events []Event
+	if binaryCodec {
+		events, err = DecodeFeedbackBatchRequest(sc.in)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "%v", err)
+			return
+		}
+	} else {
+		var body FeedbackRequest
+		if err := json.Unmarshal(sc.in, &body); err != nil {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "bad JSON: %v", err)
+			return
+		}
+		events = body.Events
+	}
+	if len(events) == 0 {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "empty batch")
+		return
+	}
+	if len(events) > MaxFeedbackBatchEvents {
+		httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "batch of %d events exceeds %d", len(events), MaxFeedbackBatchEvents)
+		return
+	}
+	var unit string
+	for i := range events {
+		e := &events[i]
+		if e.Impressions < 0 || e.Clicks < 0 {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0,
+				"event %d: negative counts for page %d (impressions %d, clicks %d)", i, e.Page, e.Impressions, e.Clicks)
+			return
+		}
+		if e.Slot < 1 {
+			httpError(w, http.StatusBadRequest, ErrCodeBadRequest, 0, "event %d: slot must be >= 1 for page %d, got %d", i, e.Page, e.Slot)
+			return
+		}
+		if unit == "" {
+			unit = e.Unit
+		}
+	}
+	if !s.rateLimit(w, r, unit) {
+		return
+	}
+	s.feedbackRequests.Add(1)
+	switch err := s.corpus.TryFeedback(events); {
+	case err == nil:
+		if binaryCodec {
+			sc.out = AppendFeedbackBatchResponse(sc.out[:0], len(events))
+			w.Header().Set("Content-Type", BatchContentType)
+			w.WriteHeader(http.StatusAccepted)
+			_, _ = w.Write(sc.out)
+			return
+		}
+		sc.out = appendFeedbackResponse(sc.out[:0], len(events))
+		writeRaw(w, http.StatusAccepted, sc.out)
+	case errors.Is(err, ErrOverloaded):
+		s.feedback429.Add(1)
+		httpError(w, http.StatusTooManyRequests, ErrCodeOverloaded, time.Second, "feedback queue full, retry with backoff")
+	case errors.Is(err, ErrNotLeader):
+		s.feedback503.Add(1)
+		httpError(w, http.StatusServiceUnavailable, ErrCodeNotLeader, time.Second, "this node does not lead the target shard: %v", err)
+	default:
+		s.feedback503.Add(1)
+		httpError(w, http.StatusServiceUnavailable, ErrCodeUnavailable, 2*time.Second, "feedback not durable: %v", err)
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, 0, "GET only")
@@ -524,6 +624,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WALFailures:        cs.WALFailures,
 		Epochs:             cs.Epochs,
 		Arms:               cs.Arms,
+	}
+	// Write-path rates are transient telemetry, not recoverable state,
+	// so they come from the health surface rather than Corpus.Stats.
+	var commitSum float64 // records covered per second, for the weighted mean
+	for _, row := range s.corpus.Health().Shards {
+		resp.FsyncsPerSec += row.FsyncsPerSec
+		commitSum += row.FsyncsPerSec * row.MeanCommitRecords
+		if row.P99CommitMicros > resp.P99CommitMicros {
+			resp.P99CommitMicros = row.P99CommitMicros
+		}
+	}
+	if resp.FsyncsPerSec > 0 {
+		resp.MeanCommitRecords = commitSum / resp.FsyncsPerSec
+	}
+	if wc := s.corpus.WALCounters(); wc != (WALCounters{}) {
+		resp.WAL = &wc
 	}
 	if s.limiter != nil {
 		resp.RateLimited429 = s.limiter.limited.Load()

@@ -2,6 +2,13 @@ package wal
 
 import "testing"
 
+// Each benchmark calls drainOS (sync_linux.go) before ResetTimer: it
+// forces every dirty page queued by earlier benchmarks (or the warm-up
+// commits) to disk so the first timed fsyncs don't pay for the
+// writeback backlog of whichever benchmark ran before — the
+// cross-benchmark interference that once made the cheaper in-place
+// record path measure SLOWER than Append.
+
 // BenchmarkWALAppend measures the group-commit append path the serving
 // layer's shards run: a batch of framed records buffered with Append and
 // made durable by one Commit — one fsync amortized over the whole batch
@@ -27,6 +34,7 @@ func BenchmarkWALAppend(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(payload)))
+	drainOS()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := l.Append(payload); err != nil {
@@ -76,6 +84,7 @@ func BenchmarkWALAppendRecord(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.SetBytes(int64(len(payload)))
+	drainOS()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		record()
@@ -88,4 +97,69 @@ func BenchmarkWALAppendRecord(b *testing.B) {
 	if err := l.Commit(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkWALAppendVectored measures the pipelined commit path the
+// serving layer's apply loops run: up to 4 batches in flight through
+// CommitAsync/Complete, so the flush goroutine coalesces whatever
+// queued behind a slow fsync into one vectored write and one covering
+// sync. Same record shape and batch size as BenchmarkWALAppend — the
+// difference between the two is what pipelining buys.
+func BenchmarkWALAppendVectored(b *testing.B) {
+	const (
+		batch    = 64
+		pipeline = 4
+	)
+	payload := make([]byte, 48)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	l, _, err := Open(b.TempDir(), Options{Fsync: FsyncBatch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < batch; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	var inflight []*Flush
+	drainTo := func(keep int) {
+		for len(inflight) > keep {
+			if err := l.Complete(inflight[0]); err != nil {
+				b.Fatal(err)
+			}
+			inflight = inflight[1:]
+		}
+	}
+	b.SetBytes(int64(len(payload)))
+	drainOS()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%batch == 0 {
+			f, err := l.CommitAsync()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if f != nil {
+				inflight = append(inflight, f)
+			}
+			drainTo(pipeline - 1)
+		}
+	}
+	f, err := l.CommitAsync()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if f != nil {
+		inflight = append(inflight, f)
+	}
+	drainTo(0)
 }

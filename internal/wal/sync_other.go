@@ -1,0 +1,30 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// fdatasync falls back to a full fsync where the data-only variant is
+// not portable.
+func fdatasync(f *os.File) error { return f.Sync() }
+
+// writeBufsFile falls back to one Write per buffer.
+func writeBufsFile(f *os.File, bufs [][]byte) error {
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		if _, err := f.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainOS is a no-op off Linux; benchmarks there absorb writeback skew.
+func drainOS() {}
+
+// syncfs is unavailable; SyncPool degrades to per-file fdatasync.
+const hasSyncfs = false
+
+func syncfs(fd uintptr) error { return nil }

@@ -1,0 +1,27 @@
+//go:build linux && arm64
+
+package wal
+
+import "syscall"
+
+// syscall.SYS_SYNCFS is absent from the frozen syscall package; the
+// number is ABI-stable per architecture.
+const sysSyncfs = 267
+
+const hasSyncfs = true
+
+// syncfs flushes the whole filesystem containing fd — one journal commit
+// covering every file dirtied on it, which is what lets SyncPool collapse
+// N concurrent shard fsyncs into one device round trip.
+func syncfs(fd uintptr) error {
+	for {
+		_, _, errno := syscall.Syscall(sysSyncfs, fd, 0, 0)
+		if errno == syscall.EINTR {
+			continue
+		}
+		if errno != 0 {
+			return errno
+		}
+		return nil
+	}
+}

@@ -1,0 +1,9 @@
+//go:build linux && !amd64 && !arm64
+
+package wal
+
+// Unknown syscall number on this architecture; SyncPool degrades to
+// per-file fdatasync.
+const hasSyncfs = false
+
+func syncfs(fd uintptr) error { return nil }

@@ -36,10 +36,13 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/faultfs"
 )
@@ -120,7 +123,23 @@ type Options struct {
 	// Inject, when non-nil, routes segment writes and fsyncs through a
 	// fault injector so tests and chaos scenarios can force short
 	// writes, fsync errors, disk-full and latency spikes on this log.
+	// Injected logs never use the SyncPool: the injector's sync plan
+	// must observe exactly one sync per commit.
 	Inject *faultfs.Injector
+	// SyncPool, when non-nil, coalesces this log's durability barriers
+	// with other logs on the same filesystem (see SyncPool). The log
+	// still issues one logical sync per group commit; the pool decides
+	// how many device round trips that costs.
+	SyncPool *SyncPool
+	// OnWrite, when non-nil, is called by the flush goroutine after a
+	// batch's frames have been written to the active segment but BEFORE
+	// the covering sync. frames is the raw frame bytes of one dispatched
+	// batch starting at LSN first; the slice is only valid during the
+	// call. Replication uses it to overlap network shipping with the
+	// leader's fsync — receivers must treat the frames as provisional
+	// until the leader advertises durability, because a failed sync
+	// rolls them back and may reuse their LSNs.
+	OnWrite func(first uint64, frames []byte)
 }
 
 func (o Options) withDefaults() Options {
@@ -150,39 +169,173 @@ type RecoverInfo struct {
 	Records uint64
 }
 
-// Log is an open write-ahead log. It is not safe for concurrent use; the
-// serving layer gives each shard its own Log owned by the shard's single
-// apply goroutine. The two exceptions are Reader and FirstLSN, which may
-// be called from other goroutines: replication ships committed frames
-// from a separate goroutine while the apply loop keeps committing, so
-// the segment metadata those two read is guarded by segMu.
+// Log is an open write-ahead log. Its mutating API is not safe for
+// concurrent use; the serving layer gives each shard its own Log owned
+// by the shard's single apply goroutine. Reader, FirstLSN, Size and
+// Stats may be called from other goroutines: replication ships committed
+// frames and health endpoints read counters while the apply loop keeps
+// committing, so the metadata those read is guarded by segMu or atomics.
+//
+// Internally commits are executed by a flush goroutine (started lazily
+// at the first commit): CommitAsync hands the append buffer over and
+// installs a fresh one — double buffering — so the appender can keep
+// accumulating batch N+1 while batch N is in fdatasync. Fields below the
+// ownership comment belong to the flush goroutine whenever a dispatched
+// flush is outstanding and to the appender otherwise; the handoff points
+// (flushC send, Flush.done close) establish the happens-before edges.
 type Log struct {
 	dir  string
 	opts Options
 	// segMu guards segments metadata (the slice and the per-segment
-	// size/last fields) for cross-goroutine readers; all other state is
-	// owned by the single appending goroutine.
+	// size/last fields) for cross-goroutine readers.
 	segMu    sync.Mutex
 	segments []segment
 	// firstRetained is the LSN of the oldest record still on disk (or,
 	// on an empty log, the LSN the next record will get). Guarded by
 	// segMu so FirstLSN never touches nextLSN cross-goroutine.
 	firstRetained uint64
-	active        *os.File
-	buf           []byte // frames appended since the last Commit
+	buf           []byte // frames appended since the last dispatch
 	bufFirst      uint64 // LSN of the first buffered frame
 	// pendingStart is the buffer offset of an open BeginRecord frame
 	// (meaningful only between BeginRecord and EndRecord).
 	pendingStart int
 	nextLSN      uint64
-	size         int64 // bytes across all segments, including uncommitted
-	dirSync      bool  // directory fsync needed after the next rotation
-	// dirty means a failed Commit may have left bytes in the active
+	// restoreOff is where in buf the next failed flush's frames are
+	// re-inserted by Complete, so a cascade of failed batches restores
+	// in LSN order ahead of anything appended since.
+	restoreOff int
+	// outstanding is the FIFO of dispatched, not-yet-Completed flushes;
+	// Complete must be called in this order.
+	outstanding []*Flush
+	spare       []byte // recycled append buffer for double buffering
+	flushC      chan *Flush
+	workerDone  chan struct{}
+	size        atomic.Int64 // bytes across all segments, excluding buffered frames
+
+	// Owned by the flush goroutine while a flush is outstanding, by the
+	// appender otherwise.
+	active  *os.File
+	dirSync bool // directory fsync needed after the next rotation
+	// dirty means a failed flush may have left bytes in the active
 	// segment beyond the last durable frame (a partial write, or a full
 	// write whose fsync failed and whose pages the kernel may since have
-	// dropped). The next Commit or DropBuffered truncates back to the
+	// dropped). The next flush or DropBuffered truncates back to the
 	// last known-good size before touching the file again.
 	dirty bool
+	// failed/failedAt/failErr implement the failure cascade: once a
+	// group fails, later flushes that were already queued carry LSNs
+	// after the hole and must fail too (writing them would gap the log).
+	// A flush whose first LSN is back at or before failedAt proves the
+	// appender has restored or dropped the failed frames, and clears the
+	// cascade.
+	failed   bool
+	failedAt uint64
+	failErr  error
+
+	stats logStats
+}
+
+// logStats accumulates group-commit telemetry. The flush goroutine
+// writes, health endpoints read; everything behind one small mutex since
+// a commit already costs an fsync.
+type logStats struct {
+	mu      sync.Mutex
+	commits uint64 // successful group commits (syncs when fsync is on)
+	syncs   uint64 // durability barriers issued
+	records uint64 // records made durable
+	ring    [512]commitSample
+	ringN   int // next slot
+	ringLen int
+}
+
+type commitSample struct {
+	records int32
+	nanos   int64 // dispatch-to-durable latency of the oldest batch in the group
+	at      int64 // wall clock (UnixNano) when the commit became durable
+}
+
+// LogStats is a point-in-time snapshot of a log's group-commit behavior.
+type LogStats struct {
+	// Commits counts successful group commits; Syncs counts durability
+	// barriers issued (equal to Commits except under FsyncNone).
+	Commits, Syncs uint64
+	// Records counts records made durable.
+	Records uint64
+	// MeanBatchRecords and P99BatchRecords describe how many records one
+	// sync covers, over a recent window — the group-commit batch size.
+	MeanBatchRecords float64
+	P99BatchRecords  int
+	// MeanCommitNanos and P99CommitNanos are dispatch-to-durable commit
+	// latencies over the same window.
+	MeanCommitNanos int64
+	P99CommitNanos  int64
+	// CommitsPerSec is the recent commit rate (commits over the window's
+	// wall-clock span; under fsync each commit is one durability barrier,
+	// so this is also the fsync rate). Zero until the window has span.
+	CommitsPerSec float64
+}
+
+func (s *logStats) note(records int, nanos int64) {
+	s.mu.Lock()
+	s.commits++
+	s.records += uint64(records)
+	s.ring[s.ringN] = commitSample{records: int32(records), nanos: nanos, at: time.Now().UnixNano()}
+	s.ringN = (s.ringN + 1) % len(s.ring)
+	if s.ringLen < len(s.ring) {
+		s.ringLen++
+	}
+	s.mu.Unlock()
+}
+
+func (s *logStats) noteSync() {
+	s.mu.Lock()
+	s.syncs++
+	s.mu.Unlock()
+}
+
+// Stats snapshots commit telemetry. Safe to call from any goroutine.
+func (l *Log) Stats() LogStats {
+	s := &l.stats
+	s.mu.Lock()
+	out := LogStats{Commits: s.commits, Syncs: s.syncs, Records: s.records}
+	n := s.ringLen
+	recs := make([]int32, 0, n)
+	lats := make([]int64, 0, n)
+	var sumR, sumN int64
+	oldest := int64(0)
+	if n > 0 {
+		oldest = s.ring[0].at
+		if n == len(s.ring) {
+			oldest = s.ring[s.ringN].at
+		}
+	}
+	for i := 0; i < n; i++ {
+		smp := s.ring[i]
+		recs = append(recs, smp.records)
+		lats = append(lats, smp.nanos)
+		sumR += int64(smp.records)
+		sumN += smp.nanos
+	}
+	s.mu.Unlock()
+	if n == 0 {
+		return out
+	}
+	slices.Sort(recs)
+	slices.Sort(lats)
+	p99 := (n * 99) / 100
+	if p99 >= n {
+		p99 = n - 1
+	}
+	out.MeanBatchRecords = float64(sumR) / float64(n)
+	out.P99BatchRecords = int(recs[p99])
+	out.MeanCommitNanos = sumN / int64(n)
+	out.P99CommitNanos = lats[p99]
+	// Rate the window against now, not its last sample, so an idle log's
+	// reported rate decays instead of freezing at its last burst.
+	if span := time.Now().UnixNano() - oldest; span > 0 {
+		out.CommitsPerSec = float64(n) / (float64(span) / 1e9)
+	}
+	return out
 }
 
 // Open validates the log in dir (creating it when absent), truncates any
@@ -232,7 +385,7 @@ func Open(dir string, opts Options) (*Log, RecoverInfo, error) {
 		seg.last = seg.first + n - 1
 		seg.size = validBytes
 		l.nextLSN = seg.last + 1
-		l.size += validBytes
+		l.size.Add(validBytes)
 		info.Records += n
 		l.segments = append(l.segments, *seg)
 	}
@@ -302,6 +455,29 @@ func validateSegment(path string) (records uint64, validBytes, tornBytes int64, 
 			return records, off, 0, nil
 		}
 	}
+}
+
+// ForEachFrame walks a raw run of encoded frames (the bytes an OnWrite
+// hook receives) and yields each record payload in order, stopping early
+// when fn returns false or a frame fails validation. It returns the
+// number of complete frames yielded — for hook input that is always the
+// run's full frame count.
+func ForEachFrame(frames []byte, fn func(payload []byte) bool) int {
+	var off int64
+	count := 0
+	for off < int64(len(frames)) {
+		n, valid := frameAt(frames, off)
+		if !valid {
+			break
+		}
+		if !fn(frames[off+frameHeader : off+n]) {
+			count++
+			break
+		}
+		count++
+		off += n
+	}
+	return count
 }
 
 // frameAt validates the frame starting at off and returns its total
@@ -393,6 +569,31 @@ func (l *Log) EndRecord(buf []byte) (uint64, error) {
 	return lsn, nil
 }
 
+// Flush is the handle of one dispatched group-commit batch. The
+// appender obtains it from CommitAsync, may select on Done to learn when
+// the batch has been flushed, and MUST eventually call Complete exactly
+// once — in dispatch order — to collect the result and return buffer
+// ownership to the log.
+type Flush struct {
+	done    chan struct{}
+	err     error
+	first   uint64 // LSN of the first frame in the batch
+	last    uint64
+	buf     []byte // the batch's frames; flush-goroutine-owned until done
+	restore bool   // Complete must re-buffer the frames (failed batch)
+	start   time.Time
+}
+
+// Done is closed when the batch has been flushed (successfully or not).
+// Complete reports the outcome.
+func (f *Flush) Done() <-chan struct{} { return f.done }
+
+// FirstLSN returns the LSN of the first record in the batch.
+func (f *Flush) FirstLSN() uint64 { return f.first }
+
+// LastLSN returns the LSN of the last record in the batch.
+func (f *Flush) LastLSN() uint64 { return f.last }
+
 // Commit writes every record appended since the last Commit and makes
 // the batch durable per the fsync mode — the group-commit boundary.
 //
@@ -406,10 +607,144 @@ func (l *Log) EndRecord(buf []byte) (uint64, error) {
 // error, so a bare re-fsync could silently "succeed" over lost data —
 // the retry rewrites the batch from the beginning instead.
 func (l *Log) Commit() error {
+	f, err := l.CommitAsync()
+	if err != nil {
+		return err
+	}
+	return l.Complete(f)
+}
+
+// CommitAsync dispatches every record appended since the last dispatch
+// to the flush goroutine as one batch and returns immediately with the
+// batch's handle (nil when nothing is buffered — Complete accepts nil).
+// The appender may keep appending the next batch while this one flushes:
+// that is the pipelined group commit. Acks and state publication must
+// wait for Complete, which is where durability is decided.
+//
+// Multiple batches may be in flight; the flush goroutine coalesces
+// whatever has queued behind a slow fsync into one vectored write and
+// one covering sync, so pipelining deepens group commit instead of
+// multiplying fsyncs. Complete must be called in dispatch order.
+func (l *Log) CommitAsync() (*Flush, error) {
+	if l.opts.ReadOnly {
+		return nil, fmt.Errorf("wal: log opened read-only")
+	}
 	if len(l.buf) == 0 {
+		return nil, nil
+	}
+	f := &Flush{
+		done:  make(chan struct{}),
+		first: l.bufFirst,
+		last:  l.nextLSN - 1,
+		buf:   l.buf,
+		start: time.Now(),
+	}
+	l.buf = l.spare[:0]
+	l.spare = nil
+	l.bufFirst = l.nextLSN
+	l.restoreOff = 0
+	l.outstanding = append(l.outstanding, f)
+	if l.flushC == nil {
+		l.flushC = make(chan *Flush, 64)
+		l.workerDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	l.flushC <- f
+	return f, nil
+}
+
+// Complete collects the result of a dispatched batch, blocking until its
+// flush has finished. On success the batch's records are durable. On
+// failure the batch's frames are re-inserted into the append buffer —
+// in LSN order, ahead of anything appended since — so the caller can
+// retry Commit (rewriting every failed batch) or DropBuffered to nack
+// them all; this mirrors the single-batch retry contract.
+func (l *Log) Complete(f *Flush) error {
+	if f == nil {
 		return nil
 	}
-	if err := l.ensureActive(); err != nil {
+	if len(l.outstanding) == 0 || l.outstanding[0] != f {
+		panic("wal: Complete called out of dispatch order")
+	}
+	l.outstanding = l.outstanding[:copy(l.outstanding, l.outstanding[1:])]
+	<-f.done
+	if f.err != nil {
+		if f.restore {
+			l.buf = slices.Insert(l.buf, l.restoreOff, f.buf...)
+			if l.restoreOff == 0 {
+				l.bufFirst = f.first
+			}
+			l.restoreOff += len(f.buf)
+		}
+		f.buf = nil
+		return f.err
+	}
+	if l.spare == nil && cap(f.buf) <= maxSpareBuf {
+		l.spare = f.buf[:0]
+	}
+	f.buf = nil
+	return nil
+}
+
+// maxSpareBuf caps the recycled append buffer so one oversized batch
+// does not pin memory forever.
+const maxSpareBuf = 1 << 20
+
+// Outstanding reports how many dispatched batches have not been
+// Completed yet.
+func (l *Log) Outstanding() int { return len(l.outstanding) }
+
+// flushLoop is the flush goroutine: it drains whatever batches have
+// queued into one group, writes them with a single vectored write, syncs
+// once, and publishes the results. It exits when flushC closes.
+func (l *Log) flushLoop() {
+	defer close(l.workerDone)
+	for f := range l.flushC {
+		group := []*Flush{f}
+	drain:
+		for {
+			select {
+			case g, ok := <-l.flushC:
+				if !ok {
+					break drain
+				}
+				group = append(group, g)
+			default:
+				break drain
+			}
+		}
+		l.flushGroup(group)
+	}
+}
+
+// flushGroup executes one coalesced group of batches and resolves their
+// handles. A failed group arms the cascade: batches already queued
+// behind it carry LSNs after the hole and fail without touching the
+// file, until the appender (who learns of the failure via Complete)
+// redispatches from the failed position.
+func (l *Log) flushGroup(group []*Flush) {
+	var err error
+	if l.failed && group[0].first > l.failedAt {
+		err = fmt.Errorf("wal: commit queued behind failed batch at lsn %d: %w", l.failedAt, l.failErr)
+	} else {
+		l.failed = false
+		err = l.doFlush(group)
+		if err != nil {
+			l.failed = true
+			l.failedAt = group[0].first
+			l.failErr = err
+		}
+	}
+	for _, f := range group {
+		f.err = err
+		f.restore = err != nil
+		close(f.done)
+	}
+}
+
+// doFlush writes and syncs one group. Runs on the flush goroutine.
+func (l *Log) doFlush(group []*Flush) error {
+	if err := l.ensureActive(group[0].first); err != nil {
 		return err
 	}
 	if l.dirty {
@@ -417,30 +752,48 @@ func (l *Log) Commit() error {
 			return err
 		}
 	}
-	if err := l.write(l.buf); err != nil {
+	bufs := make([][]byte, len(group))
+	total := 0
+	records := 0
+	for i, f := range group {
+		bufs[i] = f.buf
+		total += len(f.buf)
+		records += int(f.last - f.first + 1)
+	}
+	if err := l.write(bufs); err != nil {
 		l.dirty = true
 		return fmt.Errorf("wal: %w", err)
+	}
+	if fn := l.opts.OnWrite; fn != nil {
+		// Ship before the sync: receivers treat these frames as
+		// provisional until durability is advertised, so overlapping the
+		// network hop with the fsync below is safe.
+		for _, f := range group {
+			fn(f.first, f.buf)
+		}
 	}
 	if l.opts.Fsync != FsyncNone {
 		if err := l.sync(); err != nil {
 			l.dirty = true
 			return fmt.Errorf("wal: %w", err)
 		}
+		l.stats.noteSync()
 	}
 	l.segMu.Lock()
 	seg := &l.segments[len(l.segments)-1]
-	seg.size += int64(len(l.buf))
-	seg.last = l.nextLSN - 1
+	seg.size += int64(total)
+	seg.last = group[len(group)-1].last
+	segSize := seg.size
 	l.segMu.Unlock()
-	l.size += int64(len(l.buf))
-	l.buf = l.buf[:0]
+	l.size.Add(int64(total))
+	l.stats.note(records, time.Since(group[0].start).Nanoseconds())
 	if l.dirSync {
 		if err := SyncDir(l.dir); err != nil {
 			return err
 		}
 		l.dirSync = false
 	}
-	if l.activeSize() >= l.opts.SegmentBytes {
+	if segSize >= l.opts.SegmentBytes {
 		if err := l.active.Close(); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -453,12 +806,18 @@ func (l *Log) Commit() error {
 // Commit, rewinding the next LSN to reuse their slots, and truncates
 // away any partial bytes a failed Commit left in the active segment.
 // The nack path: after a Commit error the caller either retries Commit
-// or calls this to give up on the batch.
+// or calls this to give up on the batch. Dispatched batches must be
+// Completed first — their frames are either durable or restored into
+// the buffer this call drops.
 func (l *Log) DropBuffered() error {
+	if len(l.outstanding) > 0 {
+		panic("wal: DropBuffered with dispatched batches outstanding")
+	}
 	if len(l.buf) > 0 {
 		l.nextLSN = l.bufFirst
 		l.buf = l.buf[:0]
 	}
+	l.restoreOff = 0
 	if l.dirty {
 		return l.rollback()
 	}
@@ -480,50 +839,53 @@ func (l *Log) rollback() error {
 	return nil
 }
 
-// activeSize returns the committed size of the final segment.
-func (l *Log) activeSize() int64 {
-	l.segMu.Lock()
-	defer l.segMu.Unlock()
-	return l.segments[len(l.segments)-1].size
-}
-
-// write appends p to the active segment, through the injector when one
-// is configured.
-func (l *Log) write(p []byte) error {
+// write appends every buffer to the active segment in order — one
+// vectored writev when no injector is configured, one injected Write per
+// buffer otherwise (the injector's torn-write and disk-full plans are
+// per-call, and fault tests inject against single-batch commits).
+func (l *Log) write(bufs [][]byte) error {
 	if in := l.opts.Inject; in != nil {
-		_, err := in.Write(l.active, p)
-		return err
+		for _, b := range bufs {
+			if _, err := in.Write(l.active, b); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	_, err := l.active.Write(p)
-	return err
+	return writeBufsFile(l.active, bufs)
 }
 
-// sync fsyncs the active segment, through the injector when one is
-// configured.
+// sync makes the active segment's written frames durable: through the
+// injector when one is configured, through the coalescing SyncPool when
+// one is attached, and by plain fdatasync otherwise.
 func (l *Log) sync() error {
 	if in := l.opts.Inject; in != nil {
 		return in.Sync(l.active)
 	}
-	return l.active.Sync()
+	if p := l.opts.SyncPool; p != nil {
+		return p.Sync(l.active)
+	}
+	return fdatasync(l.active)
 }
 
-// ensureActive opens (rotating to) the segment the next write lands in.
-func (l *Log) ensureActive() error {
+// ensureActive opens (rotating to) the segment the next write lands in,
+// named by the LSN of the first record it will hold.
+func (l *Log) ensureActive(first uint64) error {
 	if l.active != nil {
 		return nil
 	}
 	// active is nil only on a fresh/fully-truncated log or right after a
 	// rotation close — both cases start a new segment (Open reopens a
 	// final segment with room itself).
-	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", l.bufFirst))
+	path := filepath.Join(l.dir, fmt.Sprintf("wal-%016x.seg", first))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.segMu.Lock()
-	l.segments = append(l.segments, segment{path: path, first: l.bufFirst, last: l.bufFirst - 1})
+	l.segments = append(l.segments, segment{path: path, first: first, last: first - 1})
 	if len(l.segments) == 1 {
-		l.firstRetained = l.bufFirst
+		l.firstRetained = first
 	}
 	l.segMu.Unlock()
 	l.active = f
@@ -535,6 +897,16 @@ func (l *Log) ensureActive() error {
 	// lands in it.
 	l.dirSync = true
 	return nil
+}
+
+// SetOnWrite installs (or replaces) the Options.OnWrite hook. It may
+// only be called before the log's first commit is dispatched — the
+// owner wires per-shard hooks up after Open, before serving starts.
+func (l *Log) SetOnWrite(fn func(first uint64, frames []byte)) {
+	if l.flushC != nil {
+		panic("wal: SetOnWrite after commits began")
+	}
+	l.opts.OnWrite = fn
 }
 
 // NextLSN returns the LSN the next appended record will get.
@@ -552,8 +924,9 @@ func (l *Log) FirstLSN() uint64 {
 }
 
 // Size returns the total bytes across all retained segments, including
-// buffered-but-uncommitted frames.
-func (l *Log) Size() int64 { return l.size + int64(len(l.buf)) }
+// the appender's buffered-but-undispatched frames. Callers other than
+// the appender see the committed size only.
+func (l *Log) Size() int64 { return l.size.Load() + int64(len(l.buf)) }
 
 // ResetTo discards every retained segment and repositions the log so
 // the next Append gets LSN lsn. Recovery uses it when a snapshot
@@ -564,6 +937,9 @@ func (l *Log) Size() int64 { return l.size + int64(len(l.buf)) }
 func (l *Log) ResetTo(lsn uint64) error {
 	if l.opts.ReadOnly {
 		return fmt.Errorf("wal: log opened read-only")
+	}
+	if len(l.outstanding) > 0 {
+		panic("wal: ResetTo with dispatched batches outstanding")
 	}
 	if l.active != nil {
 		if err := l.active.Close(); err != nil {
@@ -581,7 +957,8 @@ func (l *Log) ResetTo(lsn uint64) error {
 	l.firstRetained = lsn
 	l.segMu.Unlock()
 	l.buf = l.buf[:0]
-	l.size = 0
+	l.restoreOff = 0
+	l.size.Store(0)
 	l.dirty = false
 	l.nextLSN = lsn
 	return SyncDir(l.dir)
@@ -600,7 +977,7 @@ func (l *Log) TruncateBefore(lsn uint64) error {
 			if err := os.Remove(seg.path); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
-			l.size -= seg.size
+			l.size.Add(-seg.size)
 			continue
 		}
 		kept = append(kept, seg)
@@ -730,9 +1107,23 @@ func (r *Reader) Next() (lsn uint64, payload []byte, ok bool, err error) {
 	}
 }
 
-// Close commits buffered records and closes the active segment.
+// Close completes any dispatched batches, commits buffered records,
+// stops the flush goroutine and closes the active segment.
 func (l *Log) Close() error {
-	err := l.Commit()
+	var err error
+	for len(l.outstanding) > 0 {
+		if cerr := l.Complete(l.outstanding[0]); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	if cerr := l.Commit(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if l.flushC != nil {
+		close(l.flushC)
+		<-l.workerDone
+		l.flushC = nil
+	}
 	if l.active != nil {
 		if cerr := l.active.Close(); err == nil && cerr != nil {
 			err = fmt.Errorf("wal: %w", cerr)
