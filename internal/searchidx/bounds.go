@@ -1,0 +1,315 @@
+// Posting-block popularity upper bounds: the metadata that lets the
+// serving layer's top-K selection skip whole runs of a posting list once
+// its bounded heap is full (block-max pruning, WAND-style).
+//
+// Every non-empty posting list is divided into fixed-stride blocks, and
+// each block carries an upper bound on the popularity of the documents in
+// it. The system's one free invariant makes the bounds cheap to maintain:
+// popularity is monotone non-decreasing (clicks only ever add), so a
+// bound, once correct, can only be invalidated by a popularity INCREASE —
+// and the writer that applies the increase raises the covering bounds
+// with a lock-free atomic max (RaiseBound). Bounds are recomputed exactly
+// — tightened — whenever a posting list is rebuilt anyway: on
+// mid-list inserts, on deletes, and when the delta overlay folds into the
+// base map.
+//
+// Soundness contract. A raise is issued AFTER the new popularity value is
+// visible to the index's popularity source (Index.SetPopFunc), and
+// RaiseBound serializes with mutations on ix.mu while every rebuild
+// publishes its snapshot before releasing the mutex; together these
+// guarantee that once RaiseBound returns, the current snapshot's bound
+// covers the new value permanently. In the nanosecond window between the
+// popularity store and the raise a concurrent pruned reader may still
+// skip the block — it then serves results as if the click had not yet
+// been applied, the same bounded staleness an epoch-swapped snapshot
+// already exhibits. A skipped block never hides a document at its OLD
+// popularity: bounds are upper bounds of the pre-raise values, and rank
+// ties break toward smaller (earlier) document ids, so a block whose
+// bound cannot beat the current heap minimum contains nothing the full
+// scan would have kept (see Snapshot.RetrievePruned).
+package searchidx
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// BlockStride is the number of posting entries covered by one upper
+// bound. Small enough that a skipped block saves real galloping and
+// stat-load work, large enough that bound checks are a vanishing
+// fraction of an unpruned scan.
+const BlockStride = 128
+
+// posting is one term's posting list: the sorted document ids plus the
+// per-block popularity upper bounds. An empty (non-nil) ids slice in a
+// delta overlay is a tombstone hiding the base list; every posting with
+// len(ids) > 0 has non-nil bounds. The bounds array is shared by every
+// snapshot whose ids share a backing array, so an atomic raise is
+// visible to all of them at once.
+type posting struct {
+	ids []uint32
+	b   *blockBounds
+}
+
+// blockBounds holds one upper bound per block as float64 bits. For
+// non-negative floats the IEEE bit patterns order exactly like the
+// values, so max-raising compares the uint64s directly. The zero value
+// of a slot is 0.0 — the bound of a block of never-clicked documents.
+type blockBounds struct {
+	max []atomic.Uint64
+}
+
+// nblocks returns how many blocks cover n posting entries.
+func nblocks(n int) int { return (n + BlockStride - 1) / BlockStride }
+
+// newBlockBounds allocates bounds sized for capEntries posting slots (so
+// append-at-end growth is as rare as slice growth), all zero.
+func newBlockBounds(capEntries int) *blockBounds {
+	nb := nblocks(capEntries)
+	if nb == 0 {
+		nb = 1
+	}
+	return &blockBounds{max: make([]atomic.Uint64, nb)}
+}
+
+// grow returns bounds covering at least capEntries posting slots,
+// carrying the current values over. The receiver is left untouched:
+// snapshots already holding it keep raising and reading it; only
+// postings published after the grow reference the copy.
+func (b *blockBounds) grow(capEntries int) *blockBounds {
+	nb := newBlockBounds(capEntries)
+	for i := range b.max {
+		nb.max[i].Store(b.max[i].Load())
+	}
+	return nb
+}
+
+// upper returns the bound of block bi. Defensive: an index beyond the
+// array (a racing reader of a stale pairing) reports +Inf — never skip.
+func (b *blockBounds) upper(bi int) float64 {
+	if b == nil || bi >= len(b.max) {
+		return math.Inf(1)
+	}
+	return math.Float64frombits(b.max[bi].Load())
+}
+
+// raise lifts block bi's bound to at least pop (atomic max). Raising
+// never lowers, so concurrent raises and readers need no lock.
+func (b *blockBounds) raise(bi int, pop float64) {
+	if pop <= 0 || bi >= len(b.max) {
+		return
+	}
+	bits := math.Float64bits(pop)
+	for {
+		old := b.max[bi].Load()
+		if old >= bits || b.max[bi].CompareAndSwap(old, bits) {
+			return
+		}
+	}
+}
+
+// popAt resolves a document's current popularity for exact bound
+// computation: the installed popularity source, or the index's own
+// score map. Callers hold ix.mu.
+func (ix *Index) popAt(id uint32) float64 {
+	if ix.popOf != nil {
+		return ix.popOf(id)
+	}
+	return ix.pop[int(id)]
+}
+
+// computeBounds builds exact per-block bounds for ids from the current
+// popularity source. Callers hold ix.mu.
+func (ix *Index) computeBounds(ids []uint32) *blockBounds {
+	b := newBlockBounds(cap(ids))
+	for i, id := range ids {
+		b.raise(i/BlockStride, ix.popAt(id))
+	}
+	return b
+}
+
+// insertPosting returns p with id inserted in sorted position and the
+// covering block bound raised to the document's current popularity. The
+// common append-at-end case reuses spare ids capacity (published
+// snapshots only ever cover the prefix that existed when they were
+// taken) and keeps the shared bounds array, growing it — copy-on-grow,
+// old snapshots keep theirs — only when a new block opens past its
+// capacity. Mid-list inserts rebuild ids and recompute bounds exactly.
+// Callers hold ix.mu.
+func (ix *Index) insertPosting(p posting, id uint32) posting {
+	pos := searchU32(p.ids, id)
+	if pos < len(p.ids) && p.ids[pos] == id {
+		return p
+	}
+	if pos == len(p.ids) {
+		ids := append(p.ids, id)
+		b := p.b
+		if b == nil {
+			// Fresh or previously tombstoned term: exact from scratch. No
+			// rebuild marker — no document carried this term, so no cached
+			// bound reference can point into the new list.
+			return posting{ids: ids, b: ix.computeBounds(ids)}
+		}
+		if nb := nblocks(len(ids)); nb > len(b.max) {
+			ix.beginRebuild()
+			b = b.grow(cap(ids))
+		}
+		b.raise((len(ids)-1)/BlockStride, ix.popAt(id))
+		return posting{ids: ids, b: b}
+	}
+	ix.beginRebuild()
+	grown := make([]uint32, len(p.ids)+1)
+	copy(grown, p.ids[:pos])
+	grown[pos] = id
+	copy(grown[pos+1:], p.ids[pos:])
+	return posting{ids: grown, b: ix.computeBounds(grown)}
+}
+
+// SetPopFunc installs the popularity source consulted when block bounds
+// are computed exactly (inserts, deletes, delta folds). The serving
+// layer points this at its dense page-stat table so the index never
+// duplicates scores. Must be installed before the first Add; documents
+// indexed earlier keep bounds computed from the internal score map.
+func (ix *Index) SetPopFunc(f func(id uint32) float64) {
+	ix.mu.Lock()
+	ix.popOf = f
+	ix.mu.Unlock()
+}
+
+// beginRebuild makes rebuildSeq odd: a mutation is about to replace
+// posting arrays or bounds, so lock-free cached raises must stand down
+// until it publishes. Idempotent within one mutation. Callers hold
+// ix.mu; endRebuild closes the window after the snapshot is published.
+//
+// The ordering argument for why a successful RaiseCached can never be
+// lost to a concurrent rebuild: the raiser stores the new popularity,
+// raises, then re-loads rebuildSeq; seeing it unchanged (even) means
+// beginRebuild had not yet happened at that load, so this rebuild's
+// exact recomputation — which starts after beginRebuild — reads the
+// already-stored popularity and folds it into the fresh bounds itself.
+func (ix *Index) beginRebuild() {
+	if !ix.rebuilding {
+		ix.rebuilding = true
+		ix.rebuildSeq.Add(1)
+	}
+}
+
+// endRebuild reopens the lock-free raise fast path (rebuildSeq even).
+func (ix *Index) endRebuild() {
+	if ix.rebuilding {
+		ix.rebuilding = false
+		ix.rebuildSeq.Add(1)
+	}
+}
+
+// BoundRef is an opaque handle to the block bound covering one document
+// in one of its terms' posting lists, resolved by ResolveRaise and
+// raisable lock-free by RaiseCached while the index's rebuild seqlock
+// is unchanged.
+type BoundRef struct {
+	b  *blockBounds
+	bi int
+}
+
+// RaiseCached raises pop through refs resolved at seqlock value e —
+// the lock-free fast path for the click-apply loop. It reports whether
+// the raise is guaranteed to have landed on the current posting
+// arrays; false (a rebuild raced or invalidated the refs — raising a
+// superseded array is harmless, only omission is not) means the caller
+// must fall back to ResolveRaise. Callers store the new popularity
+// before raising, as with RaiseBound.
+func (ix *Index) RaiseCached(refs []BoundRef, e uint64, pop float64) bool {
+	if ix.rebuildSeq.Load() != e {
+		return false
+	}
+	for _, r := range refs {
+		r.b.raise(r.bi, pop)
+	}
+	return ix.rebuildSeq.Load() == e
+}
+
+// ResolveRaise raises the bounds covering the document under the
+// mutation lock and returns refs to them plus the seqlock value they
+// are valid for, reusing the refs slice's capacity. ok is false when
+// the document is not indexed (yet — replication followers apply
+// frames before indexing); callers must not cache that outcome, since
+// appends do not advance the seqlock.
+func (ix *Index) ResolveRaise(id int, pop float64, refs []BoundRef) (_ []BoundRef, epoch uint64, ok bool) {
+	refs = refs[:0]
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	doc, found := ix.docs[id]
+	if !found {
+		return refs, 0, false
+	}
+	s := ix.snap.Load()
+	qs := queryScratchPool.Get().(*queryScratch)
+	terms := appendTokens(qs.terms[:0], doc.Text)
+	qs.terms = terms
+	for ti, t := range terms {
+		if containsTerm(terms[:ti], t) {
+			continue
+		}
+		p := s.postings(t)
+		if p.b == nil {
+			continue
+		}
+		pos := searchU32(p.ids, uint32(id))
+		if pos == len(p.ids) || p.ids[pos] != uint32(id) {
+			continue
+		}
+		bi := pos / BlockStride
+		p.b.raise(bi, pop)
+		refs = append(refs, BoundRef{b: p.b, bi: bi})
+	}
+	qs.release()
+	return refs, ix.rebuildSeq.Load(), true
+}
+
+// RaiseBound lifts the posting-block upper bounds covering the document
+// to at least pop, in every term of the document, in the current
+// snapshot (shared bounds arrays propagate the raise to older snapshots
+// of the same lists). Call it AFTER the new popularity is visible to
+// the installed popularity source — see the package soundness contract
+// at the top of this file. Unknown documents and non-positive pops are
+// ignored, which makes the call a no-op on paths (recovery replay,
+// replication apply) that index the document afterwards: the insert
+// then computes the exact bound itself.
+func (ix *Index) RaiseBound(id int, pop float64) {
+	if pop <= 0 {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	doc, ok := ix.docs[id]
+	if !ok {
+		return
+	}
+	ix.raiseLocked(doc, uint32(id), pop)
+}
+
+// raiseLocked raises the bounds of every term of doc. Callers hold
+// ix.mu — serializing raises with posting rebuilds is what makes a
+// completed raise permanent (the rebuild either read the new popularity
+// or published before the raise loaded the snapshot).
+func (ix *Index) raiseLocked(doc Document, id uint32, pop float64) {
+	s := ix.snap.Load()
+	qs := queryScratchPool.Get().(*queryScratch)
+	terms := appendTokens(qs.terms[:0], doc.Text)
+	qs.terms = terms
+	for ti, t := range terms {
+		if containsTerm(terms[:ti], t) {
+			continue
+		}
+		p := s.postings(t)
+		if p.b == nil {
+			continue
+		}
+		pos := searchU32(p.ids, id)
+		if pos == len(p.ids) || p.ids[pos] != id {
+			continue
+		}
+		p.b.raise(pos/BlockStride, pop)
+	}
+	qs.release()
+}

@@ -63,7 +63,11 @@ func runIntersect(lists [][]uint32) []uint32 {
 			return nil
 		}
 	}
-	return intersectLists(nil, lists, make([]int, len(lists)))
+	ps := make([]posting, len(lists))
+	for i, l := range lists {
+		ps[i] = posting{ids: l}
+	}
+	return intersectLists(nil, ps, make([]int, len(lists)))
 }
 
 func assertSameIDs(t *testing.T, got, want []uint32, context string) {

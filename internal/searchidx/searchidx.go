@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"unicode"
 
 	"repro/internal/core"
@@ -47,6 +48,15 @@ type Index struct {
 	seq    int
 	nterms int
 	snap   atomicSnapshot
+	// popOf, when set, is the external popularity source consulted for
+	// exact posting-block bound computation (see bounds.go).
+	popOf func(id uint32) float64
+	// rebuildSeq is the bound-invalidation seqlock: odd while a mutation
+	// that rebuilds posting arrays (or their bounds) is in flight, bumped
+	// even when it publishes. Cached BoundRefs resolved at an even value
+	// stay raisable lock-free until the value changes (see bounds.go).
+	rebuildSeq atomic.Uint64
+	rebuilding bool // rebuildSeq is odd; guarded by mu
 }
 
 // NewIndex creates an empty index.
@@ -113,13 +123,14 @@ func (ix *Index) Add(doc Document) error {
 		if containsTerm(terms[:ti], t) {
 			continue
 		}
-		ids := lookupPostings(cur.base, delta, t)
-		if len(ids) == 0 {
+		p := lookupPostings(cur.base, delta, t)
+		if len(p.ids) == 0 {
 			ix.nterms++
 		}
-		delta[t] = insertID(ids, id)
+		delta[t] = ix.insertPosting(p, id)
 	}
 	ix.publish(cur, delta)
+	ix.endRebuild()
 	return nil
 }
 
@@ -134,30 +145,38 @@ func (ix *Index) Delete(id int) bool {
 	terms := Tokenize(doc.Text)
 	cur := ix.snap.Load()
 	delta := cloneDelta(cur.delta, len(terms))
+	// Every touched posting list is rebuilt below: stand cached bound
+	// references down for the duration.
+	ix.beginRebuild()
+	delete(ix.docs, id)
+	delete(ix.pop, id)
+	delete(ix.birth, id)
 	for ti, t := range terms {
 		if containsTerm(terms[:ti], t) {
 			continue
 		}
-		ids := lookupPostings(cur.base, delta, t)
+		p := lookupPostings(cur.base, delta, t)
+		ids := p.ids
 		pos := searchU32(ids, uint32(id))
 		if pos == len(ids) || ids[pos] != uint32(id) {
 			continue
 		}
 		if len(ids) == 1 {
 			// Tombstone: an empty (non-nil) delta entry hides the base list.
-			delta[t] = []uint32{}
+			delta[t] = posting{ids: []uint32{}}
 			ix.nterms--
 			continue
 		}
 		trimmed := make([]uint32, len(ids)-1)
 		copy(trimmed, ids[:pos])
 		copy(trimmed[pos:], ids[pos+1:])
-		delta[t] = trimmed
+		// Rebuilt list: recompute the block bounds exactly — the deleted
+		// document may have been a block's maximum, and this is the one
+		// moment tightening is free.
+		delta[t] = posting{ids: trimmed, b: ix.computeBounds(trimmed)}
 	}
-	delete(ix.docs, id)
-	delete(ix.pop, id)
-	delete(ix.birth, id)
 	ix.publish(cur, delta)
+	ix.endRebuild()
 	return true
 }
 
@@ -171,25 +190,6 @@ func containsTerm(terms []string, t string) bool {
 		}
 	}
 	return false
-}
-
-// insertID returns ids with id inserted in sorted position. The common
-// append-at-end case reuses spare capacity: published snapshots only ever
-// cover the prefix that existed when they were taken, so writing one slot
-// past every published length races with no reader.
-func insertID(ids []uint32, id uint32) []uint32 {
-	pos := searchU32(ids, id)
-	if pos == len(ids) {
-		return append(ids, id)
-	}
-	if ids[pos] == id {
-		return ids
-	}
-	grown := make([]uint32, len(ids)+1)
-	copy(grown, ids[:pos])
-	grown[pos] = id
-	copy(grown[pos+1:], ids[pos:])
-	return grown
 }
 
 // searchU32 returns the smallest index i with ids[i] >= id (binary search).
@@ -218,10 +218,15 @@ func (ix *Index) Len() int {
 func (ix *Index) SetPopularity(id int, score float64) error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if _, ok := ix.docs[id]; !ok {
+	doc, ok := ix.docs[id]
+	if !ok {
 		return fmt.Errorf("searchidx: unknown document %d", id)
 	}
 	ix.pop[id] = score
+	// Keep the block bounds sound: raise the covering bounds to the new
+	// score (lowering a score leaves them valid but loose; the next
+	// rebuild tightens them).
+	ix.raiseLocked(doc, uint32(id), score)
 	return nil
 }
 

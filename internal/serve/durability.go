@@ -353,6 +353,9 @@ type ShardHealth struct {
 	// every batch is being nacked, and the corpus reports unhealthy.
 	WALFailures  uint64 `json:"wal_failures,omitempty"`
 	LastWALError string `json:"last_wal_error,omitempty"`
+	// ZAPages counts the shard's pool-eligible (zero-awareness) pages:
+	// the promotion-pool population the cold-query sub-index enumerates.
+	ZAPages int64 `json:"za_pages"`
 	// Write-path telemetry over the WAL's recent commit window (durable
 	// corpora only): the commit/fsync rate, how many records one group
 	// commit covers (the batch size the pipelined commit path achieves),
@@ -431,6 +434,7 @@ func (c *Corpus) Health() HealthReport {
 		row := ShardHealth{
 			QueueDepth:       len(sh.ch),
 			QueueCap:         cap(sh.ch),
+			ZAPages:          sh.zaPages.Load(),
 			WALLagBytes:      sh.walLag.Load(),
 			SnapshotLSN:      sh.snapLSN.Load(),
 			AppliedLSN:       sh.appliedLSN.Load(),

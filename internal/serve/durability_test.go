@@ -66,21 +66,30 @@ type corpusFingerprint struct {
 	pages map[int]Stat
 	slots map[int][2]uint64
 	arms  []ArmReport
+	// zaDocs and za pin the zero-awareness sub-index: its size and the
+	// exact pool-eligible candidate list for the seed corpus's topic.
+	// Promotions shrink it, removals tombstone it; recovery must rebuild
+	// the shrunken membership, not the original one.
+	zaDocs int
+	za     []int
 }
 
 func fingerprint(c *Corpus) corpusFingerprint {
 	fp := corpusFingerprint{
-		stats: c.Stats(),
-		top:   c.Top(20),
-		pages: map[int]Stat{},
-		slots: map[int][2]uint64{},
-		arms:  c.Arms(),
+		stats:  c.Stats(),
+		top:    c.Top(20),
+		pages:  map[int]Stat{},
+		slots:  map[int][2]uint64{},
+		arms:   c.Arms(),
+		zaDocs: c.zidx.Len(),
+		za:     c.zidx.Retrieve("durable topic"),
 	}
 	// Epochs, cache counters and per-arm request counts are serving-run
 	// state, not event-sourced corpus state: a restarted process starts
 	// them fresh.
 	fp.stats.Epochs = nil
 	fp.stats.QueryCacheHits, fp.stats.QueryCacheMisses, fp.stats.QueryCacheEntries = 0, 0, 0
+	fp.stats.BlocksSkipped, fp.stats.CandidatesPruned, fp.stats.ZACandidates = 0, 0, 0
 	fp.stats.Arms = nil
 	for i := range fp.arms {
 		fp.arms[i].Requests = 0
@@ -115,6 +124,10 @@ func assertFingerprintEqual(t *testing.T, want, got corpusFingerprint) {
 	if !reflect.DeepEqual(want.arms, got.arms) {
 		t.Errorf("arm telemetry:\n pre-crash %+v\n recovered %+v", want.arms, got.arms)
 	}
+	if want.zaDocs != got.zaDocs || !reflect.DeepEqual(want.za, got.za) {
+		t.Errorf("zero-awareness sub-index:\n pre-crash %d docs %v\n recovered %d docs %v",
+			want.zaDocs, want.za, got.zaDocs, got.za)
+	}
 }
 
 // TestKillRestartRoundTrip is the crash-recovery acceptance test: a
@@ -134,7 +147,7 @@ func TestKillRestartRoundTrip(t *testing.T) {
 	}
 	c.Kill()
 
-	r := newTestCorpus(t, durableConfig(dir))
+	r := newTestCorpusNoClose(t, durableConfig(dir))
 	info := r.Recovery()
 	if !info.Durable || info.Pages != 30 {
 		t.Fatalf("recovery info = %+v, want durable with 30 pages", info)
@@ -153,10 +166,29 @@ func TestKillRestartRoundTrip(t *testing.T) {
 	if err := r.Add(100, "durable topic newcomer", 0); err != nil {
 		t.Fatal(err)
 	}
+	r.Sync() // the pool joins on apply, not on Add's return
+	zaBefore := r.zidx.Len()
 	r.Feedback([]Event{{Page: 100, Slot: 2, Impressions: 1, Clicks: 1, Arm: "treatment"}})
 	r.Sync()
 	if st, ok := r.Page(100); !ok || !st.Aware || st.Popularity != 1 {
 		t.Fatalf("post-recovery write: %+v ok=%v", st, ok)
+	}
+	// The first click promoted the newcomer out of the zero-awareness
+	// pool, so the sub-index must have shrunk with it...
+	if got := r.zidx.Len(); got != zaBefore-1 {
+		t.Fatalf("zero-awareness sub-index: %d docs after promotion, want %d", got, zaBefore-1)
+	}
+	if ids := r.zidx.Retrieve("newcomer"); len(ids) != 0 {
+		t.Fatalf("promoted page still pool-eligible: %v", ids)
+	}
+	// ...and a second kill/restart must reproduce the shrunken pool, not
+	// resurrect the promoted page into it.
+	want2 := fingerprint(r)
+	r.Kill()
+	r2 := newTestCorpus(t, durableConfig(dir))
+	assertFingerprintEqual(t, want2, fingerprint(r2))
+	if ids := r2.zidx.Retrieve("newcomer"); len(ids) != 0 {
+		t.Fatalf("promotion lost across restart; pool-eligible: %v", ids)
 	}
 }
 

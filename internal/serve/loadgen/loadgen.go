@@ -192,6 +192,17 @@ type Report struct {
 	AcksPerSec        float64
 	FsyncsPerSec      float64
 	MeanCommitRecords float64
+	// Cold-path measurements from the same /v1/stats deltas: ColdQueries
+	// counts uncached candidate rebuilds the service performed during
+	// the run (query-cache misses), BlocksSkipped and CandidatesPruned
+	// the posting blocks (and the driving-list entries inside them) the
+	// block-max bounds let those rebuilds skip, and ZACandidates the
+	// pool-eligible candidates enumerated from the zero-awareness
+	// sub-index instead of filtered out of full scans.
+	ColdQueries      uint64
+	BlocksSkipped    uint64
+	CandidatesPruned uint64
+	ZACandidates     uint64
 }
 
 // String renders the report as a compact human-readable block.
@@ -231,6 +242,10 @@ func (r *Report) String() string {
 		s += fmt.Sprintf("\nwrite path: %.0f acks/s, %.0f fsyncs/s, %.1f records/commit",
 			r.AcksPerSec, r.FsyncsPerSec, r.MeanCommitRecords)
 	}
+	if r.ColdQueries > 0 {
+		s += fmt.Sprintf("\ncold path: %d uncached rebuilds, %d blocks skipped (%d candidates pruned), %d za candidates",
+			r.ColdQueries, r.BlocksSkipped, r.CandidatesPruned, r.ZACandidates)
+	}
 	return s
 }
 
@@ -265,7 +280,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	workers := make([]*worker, cfg.Workers)
 	var wg sync.WaitGroup
-	before := sampleWAL(cfg)
+	before := sampleStats(cfg)
 	start := time.Now()
 	for i := range workers {
 		w := &worker{
@@ -291,7 +306,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	total := &Report{Duration: time.Since(start), Arms: map[string]PathReport{}}
-	after := sampleWAL(cfg)
+	after := sampleStats(cfg)
 	var browse, query []time.Duration
 	armLats := map[string][]time.Duration{}
 	for _, w := range workers {
@@ -337,20 +352,27 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if secs > 0 {
 		total.AcksPerSec = float64(total.FeedbackEvents) / secs
-		if before != nil && after != nil {
-			total.FsyncsPerSec = float64(after.Syncs-before.Syncs) / secs
-			if commits := after.Commits - before.Commits; commits > 0 {
-				total.MeanCommitRecords = float64(after.Records-before.Records) / float64(commits)
+		if before != nil && after != nil && before.WAL != nil && after.WAL != nil {
+			total.FsyncsPerSec = float64(after.WAL.Syncs-before.WAL.Syncs) / secs
+			if commits := after.WAL.Commits - before.WAL.Commits; commits > 0 {
+				total.MeanCommitRecords = float64(after.WAL.Records-before.WAL.Records) / float64(commits)
 			}
 		}
+	}
+	if before != nil && after != nil {
+		total.ColdQueries = after.QueryCacheMisses - before.QueryCacheMisses
+		total.BlocksSkipped = after.BlocksSkipped - before.BlocksSkipped
+		total.CandidatesPruned = after.CandidatesPruned - before.CandidatesPruned
+		total.ZACandidates = after.ZACandidates - before.ZACandidates
 	}
 	return total, nil
 }
 
-// sampleWAL reads the service's process-lifetime WAL counters from
-// /v1/stats; nil when the endpoint is unreachable or the service runs
-// without durability (no counters in the response).
-func sampleWAL(cfg Config) *serve.WALCounters {
+// sampleStats reads the service's process-lifetime counters from
+// /v1/stats — the WAL group-commit totals and the cold-path pruning
+// counters, whose before/after deltas give exact per-run measurements.
+// Nil when the endpoint is unreachable or answers malformed.
+func sampleStats(cfg Config) *serve.StatsResponse {
 	resp, err := cfg.Client.Get(cfg.BaseURL + "/v1/stats")
 	if err != nil {
 		return nil
@@ -360,7 +382,7 @@ func sampleWAL(cfg Config) *serve.WALCounters {
 	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&stats) != nil {
 		return nil
 	}
-	return stats.WAL
+	return &stats
 }
 
 // pathStats sorts the samples in place and summarizes them.

@@ -195,7 +195,7 @@ func Replay(dataDir string, overrides map[string]string) (*ReplayReport, error) 
 	h := make(recHeap, 0, meta.Shards)
 	for i := range states {
 		states[i] = &shardState{}
-		states[i].init(1, false, &pages, &zeroAware, table)
+		states[i].init(1, false, &pages, &zeroAware, table, nil, nil)
 		sh := st.Shard(i)
 		snap, err := sh.LatestSnapshot()
 		if err != nil {

@@ -178,6 +178,7 @@ func (c *Corpus) ApplyReplicatedAsync(shard int, frames []ReplFrame) (func() err
 			case recKindRemove:
 				if v, ok := c.byID.Load(f.rec.remove); ok && v.(int64)&1 == 0 {
 					c.idx.Delete(int(v.(int64) >> 1))
+					c.zidx.Delete(int(v.(int64) >> 1))
 					c.byID.Store(f.rec.remove, v.(int64)|1)
 				}
 			}

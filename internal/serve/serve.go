@@ -457,6 +457,15 @@ type Stats struct {
 	ProvenanceCapped uint64
 	WALFailures      uint64
 	Degraded         bool
+	// Cold-query pruning telemetry: BlocksSkipped counts posting blocks
+	// the block-max bounds let uncached top-K scans skip,
+	// CandidatesPruned the driving-list entries inside them (an upper
+	// bound on the slot loads and heap comparisons avoided), and
+	// ZACandidates the pool-eligible candidates enumerated from the
+	// zero-awareness sub-index instead of filtered out of full scans.
+	BlocksSkipped    uint64
+	CandidatesPruned uint64
+	ZACandidates     uint64
 }
 
 // applyReq is one message to a shard's apply loop. done, when non-nil,
@@ -599,7 +608,13 @@ type Corpus struct {
 
 	idxMu sync.Mutex // serializes Add's index insert + birth-seq pairing
 	idx   *searchidx.Index
-	seq   int // birth watermark (highest birth ever seen + 1), guarded by idxMu
+	// zidx is the zero-awareness sub-index: per-term postings of only
+	// the pool-eligible (live, never-clicked) pages, grown by the apply
+	// loops as zero-popularity pages land and shrunk on promotion or
+	// removal — so a query's randomized promotion reservoir enumerates
+	// exactly today's candidate set without scanning aware pages.
+	zidx *searchidx.Index
+	seq  int // birth watermark (highest birth ever seen + 1), guarded by idxMu
 	// nextBirth is the per-shard stride counter: shard si's k-th page is
 	// born at k*Shards+si, so birth sequences are unique per shard — the
 	// property that lets a replication cluster place shard leaders on
@@ -616,6 +631,14 @@ type Corpus struct {
 	qcache      *queryCache // nil when disabled
 	cacheHits   atomic.Uint64
 	cacheMisses atomic.Uint64
+
+	// Cold-path pruning telemetry: posting blocks skipped by the
+	// block-max bound check, driving-list entries inside those blocks
+	// (an upper bound on suppressed matches), and zero-awareness
+	// candidates enumerated from the sub-index.
+	blocksSkipped    atomic.Uint64
+	candidatesPruned atomic.Uint64
+	zaCandidates     atomic.Uint64
 
 	// over tracks degraded mode; prov applies the click-provenance
 	// checks (nil when disabled).
@@ -645,7 +668,19 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), arms: arms, durable: cfg.DataDir != "", table: newPageTable()}
+	c := &Corpus{cfg: cfg, idx: searchidx.NewIndex(), zidx: searchidx.NewIndex(), arms: arms, durable: cfg.DataDir != "", table: newPageTable()}
+	// The index's posting-block bounds read popularity straight from the
+	// dense stat table: a document id IS its page's birth sequence, so a
+	// bound recompute is a slot load away and scores are never duplicated.
+	// Slots not yet live (the insert runs before the shard applies the
+	// add) report zero; the apply loop raises the bound when it fills the
+	// slot.
+	c.idx.SetPopFunc(func(id uint32) float64 {
+		if slot := slotAt(c.table.view(), int(id)); slot != nil && liveMeta(slot.meta.Load()) {
+			return math.Float64frombits(slot.pop.Load())
+		}
+		return 0
+	})
 	c.nextBirth = make([]int, cfg.Shards)
 	c.armIdx = make(map[string]*armState, len(arms))
 	for _, a := range arms {
@@ -691,7 +726,7 @@ func NewCorpus(cfg Config) (*Corpus, error) {
 			ch:       make(chan applyReq, cfg.QueueLen),
 			rng:      randutil.New(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1),
 		}
-		sh.shardState.init(cfg.Seed+uint64(i)*2654435761, c.durable, &c.pages, &c.zeroAware, c.table)
+		sh.shardState.init(cfg.Seed+uint64(i)*2654435761, c.durable, &c.pages, &c.zeroAware, c.table, c.idx, c.zidx)
 		if c.durable {
 			sh.st = c.st.Shard(i)
 			sh.killed = &c.killed
@@ -924,6 +959,11 @@ func (c *Corpus) Remove(id int) bool {
 		return false
 	}
 	c.idx.Delete(int(v.(int64) >> 1))
+	// Tombstone the zero-awareness sub-index in the same critical
+	// section, so a pool-eligible page stops matching pool enumeration
+	// the moment it stops matching deterministic retrieval (a no-op for
+	// promoted pages, which left the sub-index at first click).
+	c.zidx.Delete(int(v.(int64) >> 1))
 	c.byID.Store(id, v.(int64)|1)
 	c.idxMu.Unlock()
 	c.shardFor(id).ch <- applyReq{remove: []int{id}}
@@ -1005,6 +1045,9 @@ func (c *Corpus) Stats() Stats {
 	s.StaleServed = c.over.staleServed.Load()
 	s.ShedRebuilds = c.over.shedRebuilds.Load()
 	s.Degraded = c.Degraded()
+	s.BlocksSkipped = c.blocksSkipped.Load()
+	s.CandidatesPruned = c.candidatesPruned.Load()
+	s.ZACandidates = c.zaCandidates.Load()
 	if c.prov != nil {
 		s.ProvenanceHeld = c.prov.held.Load()
 		s.ProvenanceCapped = c.prov.capped.Load()
@@ -1373,6 +1416,21 @@ func heapSort(best []candRef) {
 // Shards×PoolCap promotion sample — so per-request work and retained
 // scratch are bounded by n + the pool cap, not by match count.
 //
+// The deterministic scan is block-max pruned: posting lists carry a
+// popularity upper bound per fixed-stride block (searchidx bounds.go),
+// and once the heap holds n candidates, whole blocks whose bound cannot
+// beat the heap minimum are skipped — the galloping work, the slot
+// loads and the heap comparisons all vanish with them — so the cold
+// path's cost scales with the answer, not the match count. The pruned
+// result is identical to the full scan's: candidates stream in
+// ascending birth order, rank ties break older-first, and the bounds
+// stay sound under the monotone click invariant (see the property test
+// in prune_test.go). The promotion reservoir's candidates come from the
+// zero-awareness sub-index, which holds exactly the pool-eligible
+// pages, rather than from an aware-filter over the full match set. The
+// coin rule draws a Bernoulli per candidate by construction, so it
+// keeps the full unpruned scan.
+//
 // Under the unexplored-pool and promotion-free selection rules the
 // deterministic assembly is memoized in the hot-query cache, keyed by
 // (arm, normalized query): arms rank the same candidates under different
@@ -1416,11 +1474,6 @@ func (c *Corpus) queryCandidates(arm *armState, r float64, query string, n int, 
 	// changes mid-build, the stored entry is already stale and the next
 	// request rebuilds instead of reusing a torn view.
 	idxEpoch, srvEpoch := snap.Epoch(), c.Epoch()
-	seqs := snap.RetrieveInto(rs.u32[:0], query)
-	rs.u32 = seqs
-	if len(seqs) == 0 {
-		return det, pool
-	}
 	// The postings stream IS the slot stream: each retrieved document id
 	// is the page's birth sequence, so a candidate's stats are two direct
 	// loads from the dense table — no map lookups, no pointer chasing.
@@ -1428,6 +1481,11 @@ func (c *Corpus) queryCandidates(arm *armState, r float64, query string, n int, 
 	best := rs.cand[:0]
 	poolAll := rs.poolAll[:0]
 	if sel == policy.SelectCoin {
+		seqs := snap.RetrieveInto(rs.u32[:0], query)
+		rs.u32 = seqs
+		if len(seqs) == 0 {
+			return det, pool
+		}
 		poolSeen := 0
 		for _, seq32 := range seqs {
 			seq := int(seq32)
@@ -1459,28 +1517,71 @@ func (c *Corpus) queryCandidates(arm *armState, r float64, query string, n int, 
 			}
 		}
 	} else {
-		for _, seq32 := range seqs {
-			seq := int(seq32)
-			slot := slotAt(view, seq)
-			if slot == nil {
-				continue
-			}
-			m := slot.meta.Load()
-			if !liveMeta(m) {
-				continue
-			}
-			if sel == policy.SelectUnexplored && m&slotAware == 0 {
+		unexplored := sel == policy.SelectUnexplored
+		ps := snap.RetrievePruned(query,
+			func(upper float64) bool {
+				// Skip only when the heap is full and nothing under the
+				// bound can displace its minimum: every unseen candidate
+				// is younger than every kept one and rank ties break
+				// older-first, so upper == best[0].pop cannot beat it.
+				return len(best) == n && upper <= best[0].pop
+			},
+			func(ids []uint32) {
+				for _, seq32 := range ids {
+					seq := int(seq32)
+					slot := slotAt(view, seq)
+					if slot == nil {
+						continue
+					}
+					m := slot.meta.Load()
+					if !liveMeta(m) {
+						continue
+					}
+					if unexplored && m&slotAware == 0 {
+						// Pool-eligible: enumerated from the sub-index below.
+						continue
+					}
+					cr := candRef{pop: math.Float64frombits(slot.pop.Load()), seq: seq}
+					switch {
+					case len(best) < n:
+						best = heapPush(best, cr)
+					case candLess(cr, best[0]):
+						best[0] = cr
+						heapFix(best)
+					}
+				}
+			})
+		if ps.BlocksSkipped > 0 {
+			c.blocksSkipped.Add(uint64(ps.BlocksSkipped))
+			c.candidatesPruned.Add(uint64(ps.CandidatesPruned))
+		}
+		if unexplored {
+			// Enumerate exactly today's pool-eligible matches from the
+			// zero-awareness sub-index — the same ascending-birth stream
+			// the full scan's aware-filter produced, without touching any
+			// aware page — re-checking liveness and awareness against the
+			// slot. Promotion only ever sets the aware bit, so a page can
+			// never appear both here and in det.
+			zseqs := c.zidx.Snapshot().RetrieveInto(rs.u32[:0], query)
+			rs.u32 = zseqs
+			for _, seq32 := range zseqs {
+				seq := int(seq32)
+				slot := slotAt(view, seq)
+				if slot == nil {
+					continue
+				}
+				if m := slot.meta.Load(); !liveMeta(m) || m&slotAware != 0 {
+					continue
+				}
 				poolAll = append(poolAll, seq)
-				continue
 			}
-			cr := candRef{pop: math.Float64frombits(slot.pop.Load()), seq: seq}
-			switch {
-			case len(best) < n:
-				best = heapPush(best, cr)
-			case candLess(cr, best[0]):
-				best[0] = cr
-				heapFix(best)
-			}
+			c.zaCandidates.Add(uint64(len(poolAll)))
+		}
+		if ps.Candidates == 0 && ps.CandidatesPruned == 0 && len(poolAll) == 0 {
+			// Nothing matched at all — same early exit (and same
+			// don't-cache-empties behavior) as an empty retrieval.
+			rs.poolAll = poolAll
+			return det, pool
 		}
 	}
 	heapSort(best)

@@ -248,6 +248,13 @@ type StatsResponse struct {
 	ProvenanceHeld   uint64 `json:"provenance_held"`
 	ProvenanceCapped uint64 `json:"provenance_capped"`
 	WALFailures      uint64 `json:"wal_failures"`
+	// Cold-query pruning telemetry: posting blocks skipped by the
+	// block-max bounds, driving-list entries inside them, and
+	// pool-eligible candidates enumerated from the zero-awareness
+	// sub-index (see Stats for semantics).
+	BlocksSkipped    uint64 `json:"blocks_skipped"`
+	CandidatesPruned uint64 `json:"candidates_pruned"`
+	ZACandidates     uint64 `json:"za_candidates"`
 	// Write-path telemetry (durable corpora only): windowed fsync rate,
 	// mean group-commit batch size, p99 commit latency, plus the
 	// process-lifetime WAL counters whose deltas give exact rates over
@@ -622,6 +629,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ProvenanceHeld:     cs.ProvenanceHeld,
 		ProvenanceCapped:   cs.ProvenanceCapped,
 		WALFailures:        cs.WALFailures,
+		BlocksSkipped:      cs.BlocksSkipped,
+		CandidatesPruned:   cs.CandidatesPruned,
+		ZACandidates:       cs.ZACandidates,
 		Epochs:             cs.Epochs,
 		Arms:               cs.Arms,
 	}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/rankengine"
+	"repro/internal/searchidx"
 	"repro/internal/store"
 )
 
@@ -80,6 +81,22 @@ type shardState struct {
 	// state-dependent policies read; shared across shards by the owner.
 	pages     *atomic.Int64
 	zeroAware *atomic.Int64
+	// zaPages counts this shard's pool-eligible pages, read lock-free by
+	// the per-shard health surface.
+	zaPages atomic.Int64
+
+	// bounds and za, when set, are the serving corpus's search index
+	// (whose posting-block popularity bounds this applier raises as
+	// clicks land) and the zero-awareness sub-index (which mirrors the
+	// promotion pool's membership). Nil for consumers without a query
+	// path — the offline replay evaluator.
+	bounds *searchidx.Index
+	za     *searchidx.Index
+	// braise caches, per page slot, direct references to the block
+	// bounds covering the page, so the click-hot raise skips the index
+	// mutex and term resolution entirely while the index's rebuild
+	// seqlock holds still. Applier-owned, like seqOf.
+	braise map[int]boundCache
 
 	// impressions, clicks and dropped count feedback folded into (or
 	// rejected by) this shard, read lock-free by Stats.
@@ -88,9 +105,22 @@ type shardState struct {
 	dropped     atomic.Uint64
 }
 
+// boundCache is one page's resolved bound references plus the index
+// rebuild-seqlock value they are valid for.
+type boundCache struct {
+	refs  []searchidx.BoundRef
+	epoch uint64
+}
+
 // init prepares the state. retainText must be set for durable corpora.
-func (st *shardState) init(treapSeed uint64, retainText bool, pages, zeroAware *atomic.Int64, table *pageTable) {
+// bounds and za may be nil (offline replay — no query path to serve).
+func (st *shardState) init(treapSeed uint64, retainText bool, pages, zeroAware *atomic.Int64, table *pageTable, bounds, za *searchidx.Index) {
 	st.table = table
+	st.bounds = bounds
+	st.za = za
+	if bounds != nil {
+		st.braise = make(map[int]boundCache)
+	}
 	st.seqOf = make(map[int]int)
 	st.treap = rankengine.New(treapSeed)
 	st.poolPos = make(map[int]int)
@@ -140,10 +170,26 @@ func (st *shardState) applyAdd(a AddRecord) bool {
 	st.pages.Add(1)
 	if aware {
 		st.treap.Insert(rankengine.Entry{ID: a.ID, Popularity: a.Popularity, BirthDay: a.Birth})
+		if st.bounds != nil {
+			// The slot is live (fillSlot above), so the popularity is
+			// visible to the index's popularity source — raising now makes
+			// the covering block bounds permanently sound for it. On a
+			// replication follower the document is indexed after the
+			// frames apply, so this is a no-op there and the insert
+			// computes the exact bound itself.
+			st.raisePop(a.Birth, a.Popularity)
+		}
 	} else {
 		st.zeroAware.Add(1)
+		st.zaPages.Add(1)
 		st.poolPos[a.Birth] = len(st.poolSeqs)
 		st.poolSeqs = append(st.poolSeqs, a.Birth)
+		if st.za != nil {
+			// Mirror pool membership in the zero-awareness sub-index; the
+			// error return is vacuous here (Birth is unique and the text
+			// tokenized when the page was first indexed).
+			_ = st.za.Add(searchidx.Document{ID: a.Birth, Text: a.Text})
+		}
 	}
 	return true
 }
@@ -189,9 +235,23 @@ func (st *shardState) applyEvent(e Event, nanos int64) outcome {
 			// (§4's selective rule).
 			slot.meta.Store(m | slotAware)
 			st.zeroAware.Add(-1)
+			st.zaPages.Add(-1)
 			st.removeFromPool(seq)
 			st.treap.Insert(entry)
 			out.discovery = true
+			if st.za != nil {
+				// Shrink the zero-awareness sub-index: promoted pages rank
+				// deterministically from here on.
+				st.za.Delete(seq)
+			}
+		}
+		if st.bounds != nil {
+			// Raise AFTER the popularity store above: the ordering that
+			// makes the raise permanent (see searchidx's soundness
+			// contract). Until it lands a pruned reader may serve this
+			// page at its pre-click rank — the same bounded staleness a
+			// not-yet-applied event exhibits.
+			st.raisePop(seq, pop)
 		}
 		out.rankChanged = true
 	}
@@ -225,6 +285,7 @@ func (st *shardState) applyRemove(id int) bool {
 	aware := slot.meta.Load()&slotAware != 0
 	slot.meta.Store(slotDead)
 	delete(st.seqOf, id)
+	delete(st.braise, seq)
 	if st.texts != nil {
 		delete(st.texts, id)
 	}
@@ -233,9 +294,41 @@ func (st *shardState) applyRemove(id int) bool {
 		st.treap.Delete(id)
 	} else {
 		st.zeroAware.Add(-1)
+		st.zaPages.Add(-1)
 		st.removeFromPool(seq)
+		if st.za != nil {
+			// Usually a no-op: the leader tombstones the sub-index with
+			// the main index when the removal is accepted. Replayed or
+			// replicated removals land here first.
+			st.za.Delete(seq)
+		}
 	}
 	return true
+}
+
+// raisePop raises the search index's block bounds covering the page to
+// at least pop. The fast path raises through cached bound references
+// with two atomic seqlock loads and no locks; a posting rebuild since
+// the refs were resolved (delete, mid-list insert, delta fold — never
+// the common append) falls back to a full mutex-guarded resolution and
+// refreshes the cache. Callers must store pop into the page slot first
+// and hold st.bounds non-nil.
+func (st *shardState) raisePop(seq int, pop float64) {
+	bc, ok := st.braise[seq]
+	if ok && st.bounds.RaiseCached(bc.refs, bc.epoch, pop) {
+		return
+	}
+	refs, epoch, found := st.bounds.ResolveRaise(seq, pop, bc.refs)
+	if found && len(refs) > 0 {
+		st.braise[seq] = boundCache{refs: refs, epoch: epoch}
+		return
+	}
+	// Never cache a not-found document: a replication follower indexes
+	// the page after this apply, and a later append does not advance the
+	// seqlock — a cached empty set would silently drop its raises.
+	if ok {
+		delete(st.braise, seq)
+	}
 }
 
 func (st *shardState) removeFromPool(seq int) {
@@ -264,8 +357,15 @@ func (st *shardState) loadPage(p store.PageRecord) {
 		st.treap.Insert(rankengine.Entry{ID: p.ID, Popularity: p.Popularity, BirthDay: p.Birth})
 	} else {
 		st.zeroAware.Add(1)
+		st.zaPages.Add(1)
 		st.poolPos[p.Birth] = len(st.poolSeqs)
 		st.poolSeqs = append(st.poolSeqs, p.Birth)
+		if st.za != nil {
+			// Snapshot records always carry the text when a search index
+			// exists (snapshots are written by durable corpora, which
+			// retain it).
+			_ = st.za.Add(searchidx.Document{ID: p.Birth, Text: p.Text})
+		}
 	}
 }
 
